@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment benchmark runs the full simulated experiment exactly
+once inside pytest-benchmark (the simulation is deterministic, so
+repetition adds nothing but wall time), prints the paper-vs-measured
+table, and asserts that the paper's claims reproduce.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """pedantic single-shot benchmark of a deterministic experiment."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

@@ -1,0 +1,38 @@
+"""E1 — the paper's headline experiment (section 5).
+
+Paper: "In a test, the Webbot scanned 917 html pages containing 3 MBytes
+on our web-server ... executing a Webbot scan for invalid links on our
+CS department server locally is 16% faster than doing it over a 100MBit
+network."
+
+We regenerate both rows (stationary-over-LAN vs mobile-at-server) on the
+same 917-page / 3 MB synthetic workload and assert the paper's ratio
+band: the local (mobile) run must win by a comparable margin.
+"""
+
+from repro.bench.experiments import run_e1
+
+
+def test_e1_local_vs_remote(bench_once):
+    report = bench_once(run_e1)
+    print()
+    print(report.render())
+
+    ratio = report.extras["ratio_full_task"]
+    # The paper's number is 1.16; we accept a band around it (the shape,
+    # not the exact testbed constant).
+    assert 1.05 <= ratio <= 1.35, f"ratio {ratio} outside the paper band"
+    assert report.all_claims_hold
+
+    # Both deployments mine the same result.
+    by_mode = {}
+    for mode, strategy, _t, _b, pages, dead in report.rows:
+        by_mode.setdefault(mode, {})[strategy] = (pages, dead)
+    for mode, strategies in by_mode.items():
+        assert strategies["stationary"] == strategies["mobile"], mode
+
+    # And the mobile agent moves orders of magnitude fewer bytes.
+    rows = {(r[0], r[1]): r for r in report.rows}
+    stationary_bytes = rows[("full-task", "stationary")][3]
+    mobile_bytes = rows[("full-task", "mobile")][3]
+    assert mobile_bytes < stationary_bytes / 10

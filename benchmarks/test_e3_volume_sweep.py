@@ -1,0 +1,23 @@
+"""E3 — gain vs mined volume (section 5's "volume of data much greater").
+
+Sweeps the site size from 10 pages to 1500 pages (at the paper's mean
+page size) on the 100 Mbit LAN and checks that the mobile agent's
+advantage grows with volume — and that at trivial volumes shipping the
+agent barely pays, which is the flip side of the paper's argument.
+"""
+
+from repro.bench.experiments import run_e3
+
+
+def test_e3_volume_sweep(bench_once):
+    report = bench_once(run_e3)
+    print()
+    print(report.render())
+
+    speedups = report.extras["speedups"]
+    assert speedups[-1] > speedups[0]
+    # The paper-scale point (917 pages) must sit in the E1 band.
+    paper_point = [row for row in report.rows if row[0] == 917]
+    assert paper_point, "sweep must include the paper's 917-page point"
+    assert 1.05 <= paper_point[0][4] <= 1.35
+    assert report.all_claims_hold

@@ -1,0 +1,28 @@
+"""E4 — the campus audit (section 5).
+
+Paper: "if we where to check all the servers at the university campus
+(the whole uit.no domain) ... Webbot needs to be run several times, and
+preferably relocated to a new host between each execution."
+
+One itinerant agent hops the campus LAN and ships a single condensed
+report home over the slow client link; the baseline crawls every server
+remotely from the client.  The itinerant agent must win decisively on
+both time and bytes while finding exactly the same dead links.
+"""
+
+from repro.bench.experiments import run_e4
+
+
+def test_e4_multihost_itinerary(bench_once):
+    report = bench_once(run_e4)
+    print()
+    print(report.render())
+
+    rows = {row[0]: row for row in report.rows}
+    remote = rows["repeated-remote"]
+    itinerant = rows["itinerant"]
+    assert itinerant[1] < remote[1] / 2, "itinerant must be >2x faster"
+    assert itinerant[2] < remote[2] / 5, "itinerant must ship >5x less"
+    assert itinerant[4] == remote[4], "identical dead-link findings"
+    assert report.extras["speedup"] > 1.5
+    assert report.all_claims_hold

@@ -1,0 +1,24 @@
+"""E5 — fork-join parallel audit (extension of E4).
+
+The paper's ``spawn()`` "resembles the Unix fork() system call"; this
+bench uses it for what fork is for: one clone per campus server,
+crawling concurrently.  Completion time must drop from the sum of the
+per-server crawls (the sequential itinerary) toward the slowest one.
+"""
+
+from repro.bench.experiments import run_e5
+
+
+def test_e5_parallel_audit(bench_once):
+    report = bench_once(run_e5)
+    print()
+    print(report.render())
+
+    rows = {row[0]: row for row in report.rows}
+    sequential = rows["itinerant"]
+    parallel = rows["parallel-mobile"]
+    speedup = report.extras["speedup"]
+    # 4 servers: expect better than 2x, bounded by 4x.
+    assert 2.0 < speedup <= 4.0
+    assert parallel[4] == sequential[4], "identical dead-link findings"
+    assert report.all_claims_hold

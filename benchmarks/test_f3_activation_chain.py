@@ -1,0 +1,26 @@
+"""F3 — the Figure-3 activation chain.
+
+Figure 3 shows a source-carrying agent being activated: briefcase →
+vm_c → ag_cc → ag_exec (compile) → vm_bin → run.  This benchmark
+launches the same trivial agent as (a) installed software (py-ref),
+(b) shipped-by-value code (py-marshal), (c) a signed binary (vm_bin),
+and (d) source through the full compile chain (vm_source), and compares
+remote-activation latency.
+"""
+
+from repro.bench.experiments import run_f3
+
+
+def test_f3_activation_chain(bench_once):
+    report = bench_once(run_f3)
+    print()
+    print(report.render())
+
+    latencies = report.extras["latencies"]
+    # The compile chain must actually involve the services and cost more.
+    assert latencies["py-source"] > latencies["py-marshal"]
+    # Pre-compiled launches are within the same small ballpark of each
+    # other (vm_bin's signature check is cheap).
+    assert latencies["binary(signed)"] < latencies["py-marshal"] * 3
+    assert latencies["py-ref"] <= latencies["py-marshal"] * 1.5
+    assert report.all_claims_hold

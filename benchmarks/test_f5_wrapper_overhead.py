@@ -1,0 +1,30 @@
+"""F5 — wrapper stacking ablation (sections 4-5, Figure 5).
+
+Paper: "Wrappers may be stacked in arbitrary depth by TAX".  The whole
+wrapper story only works if stacking is cheap, so this benchmark
+measures meet() round-trip latency against an agent wrapped in 0..8
+logging wrappers and asserts a modest, roughly linear per-layer cost.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_f5
+
+
+def test_f5_wrapper_overhead(bench_once):
+    report = bench_once(run_f5)
+    print()
+    print(report.render())
+
+    means = report.extras["means"]
+    assert all(b >= a for a, b in zip(means, means[1:])), \
+        "latency must not decrease with depth"
+    assert means[-1] < means[0] * 2, "8 layers must stay under 2x"
+    # Per-layer increments are roughly equal (linear stacking cost).
+    increments = [b - a for a, b in zip(means, means[1:])]
+    per_layer = (means[-1] - means[0]) / 8
+    assert per_layer > 0
+    depths = (0, 1, 2, 4, 8)
+    for (d0, d1), inc in zip(zip(depths, depths[1:]), increments):
+        assert inc == pytest.approx(per_layer * (d1 - d0), rel=0.25)
+    assert report.all_claims_hold

@@ -1,0 +1,26 @@
+"""G1 — wrapper generality across robots.
+
+Paper section 5: "This example demonstrates a general principle in
+which ... mobile agents can be used to add mobility to a general class
+of stationary data mining applications."  This bench mobilises a second
+robot — breadth-first, host-list scoped, inline off-site validation;
+sharing no code with the Webbot beyond the self-containment contract —
+through the *unchanged* mobility wrapper.
+"""
+
+from repro.bench.experiments import run_g1
+
+
+def test_g1_robot_generality(bench_once):
+    report = bench_once(run_g1)
+    print()
+    print(report.render())
+
+    assert report.extras["agreement"], \
+        "both robots must find exactly the same dead links"
+    rows = {row[0].split()[0]: row for row in report.rows}
+    webbot, checkbot = rows["Webbot"], rows["Checkbot"]
+    # Comparable crawl volume and time: the work is the site, not the robot.
+    assert checkbot[3] == webbot[3]
+    assert 0.5 < checkbot[1] / webbot[1] < 2.0
+    assert report.all_claims_hold

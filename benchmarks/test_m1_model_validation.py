@@ -1,0 +1,21 @@
+"""M1 — analytic model vs simulation.
+
+The paper's thesis is an analytic claim about network vs computation
+costs; this bench validates that a first-order pen-and-paper model
+(:mod:`repro.bench.model`) predicts the simulated results across the
+bandwidth sweep, and reports the predicted mobile/stationary crossover.
+"""
+
+from repro.bench.experiments import run_m1
+
+
+def test_m1_model_validation(bench_once):
+    report = bench_once(run_m1)
+    print()
+    print(report.render())
+
+    assert report.extras["worst_rel_error"] < 0.25
+    # The mobile agent should win at every simulated network, so the
+    # predicted crossover must lie above the fastest link we simulate.
+    assert report.extras["crossover_bandwidth"] > 100_000_000 / 8
+    assert report.all_claims_hold

@@ -1,0 +1,63 @@
+"""Micro-benchmarks for the substrates (real repeated-measurement use of
+pytest-benchmark, complementing the single-shot experiment benches).
+
+These guard the simulator's own performance: the experiment suite runs
+hundreds of thousands of kernel events and codec round-trips, so
+regressions here directly inflate research iteration time.
+"""
+
+from repro.core import codec
+from repro.core.briefcase import Briefcase
+from repro.sim.eventloop import Kernel
+from repro.web.site import SiteSpec, generate_site
+from repro.robot.webbot import extract_links
+
+
+def make_briefcase(n_folders=8, n_elements=16, element_size=256):
+    briefcase = Briefcase()
+    for f in range(n_folders):
+        folder = briefcase.folder(f"FOLDER-{f}")
+        for e in range(n_elements):
+            folder.push(bytes([e % 251]) * element_size)
+    return briefcase
+
+
+def test_codec_encode(benchmark):
+    briefcase = make_briefcase()
+    wire = benchmark(codec.encode, briefcase)
+    assert len(wire) > 8 * 16 * 256
+
+
+def test_codec_decode(benchmark):
+    wire = codec.encode(make_briefcase())
+    briefcase = benchmark(codec.decode, wire)
+    assert len(briefcase) == 8
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_10k_timeouts():
+        kernel = Kernel()
+
+        def proc():
+            for _ in range(10_000):
+                yield kernel.timeout(0.001)
+        kernel.run_process(proc())
+        return kernel.processed_events
+
+    events = benchmark(run_10k_timeouts)
+    assert events >= 10_000
+
+
+def test_site_generation(benchmark):
+    spec = SiteSpec(host="bench.test", n_pages=200, total_bytes=600_000,
+                    seed=9)
+    site = benchmark(generate_site, spec)
+    assert site.n_pages == 200
+
+
+def test_link_extraction(benchmark):
+    site = generate_site(SiteSpec(host="bench.test", n_pages=50,
+                                  total_bytes=200_000, seed=9))
+    html = "".join(p.html for p in site.pages.values())
+    links = benchmark(extract_links, html)
+    assert len(links) > 100

@@ -1,0 +1,23 @@
+"""R1 — the price of fault tolerance (checkpoint wrapper ablation).
+
+Section 4 argues multi-hop agents need stronger fault tolerance and that
+such support should be *carried* by the agent.  Carrying it must not eat
+the mobility win: this bench runs the campus itinerary with and without
+per-hop checkpoint-to-cabinet and prices the insurance.
+"""
+
+from repro.bench.experiments import run_r1
+
+
+def test_r1_checkpoint_overhead(bench_once):
+    report = bench_once(run_r1)
+    print()
+    print(report.render())
+
+    # Asynchronous checkpoints must not slow the itinerary measurably…
+    assert report.extras["time_overhead"] < 0.10
+    # …but they do cost real bytes (the insurance premium).
+    assert report.extras["byte_overhead"] > 0.10
+    rows = {row[0]: row for row in report.rows}
+    assert rows["checkpoint-per-hop"][3] == rows["no-checkpointing"][3]
+    assert report.all_claims_hold

@@ -1,0 +1,123 @@
+"""Recurring, differential dead-link audits with ag_cron + ag_cabinet.
+
+The paper's landing-pad services compose into workflows the authors only
+hint at.  This example builds one: an unattended audit pipeline where
+
+1. **ag_cron** launches the wrapped Webbot on a schedule (the launch
+   briefcase itself is the deferred message, addressed to the VM — no
+   special support needed);
+2. each audit ships its condensed report home;
+3. the home agent diffs the report against the previous visit's report
+   stored in **ag_cabinet**, prints only the *newly* broken links, and
+   stores the new baseline.
+
+Between the two audits the site "rots": we delete a few pages from the
+server, so the second audit finds fresh dead links.
+
+Run with::
+
+    python examples/scheduled_audit.py
+"""
+
+import json
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.mining.webbot_agent import (
+    WEBBOT_PRINCIPAL,
+    build_webbot_program,
+    crawl_args,
+    make_mwwebbot,
+)
+from repro.system.bootstrap import build_linkcheck_testbed
+from repro.web.site import SiteSpec
+
+AUDIT_PERIOD = 3_600.0  # one simulated hour between audits
+
+
+def main():
+    spec = SiteSpec(host="www.cs.uit.no", n_pages=120, total_bytes=400_000,
+                    external_hosts=("www.w3.org",), seed=11)
+    testbed = build_linkcheck_testbed(spec=spec)
+    cluster = testbed.cluster
+    cluster.add_principal(WEBBOT_PRINCIPAL, trusted=True)
+    site = testbed.site_of(spec.host)
+    program = build_webbot_program(cluster.keychain)
+    home = testbed.client.driver(name="audit_home",
+                                 principal=WEBBOT_PRINCIPAL)
+
+    def make_audit_briefcase():
+        return make_mwwebbot(
+            program,
+            [(str(cluster.vm_uri(spec.host)),
+              crawl_args(site.root_url, prefix=f"http://{spec.host}/"))],
+            home_uri=str(home.uri), agent_name="auditor")
+
+    def schedule_audit(delay):
+        request = make_audit_briefcase()
+        request.put(wellknown.ARGS, {
+            "delay": delay,
+            "target": str(cluster.vm_uri(testbed.client.host.name)),
+        })
+        return home.call_service("ag_cron", "schedule", request)
+
+    def dead_urls_of(report_dict):
+        return {record["url"] for record in report_dict["invalid"]}
+
+    def store_baseline(urls):
+        request = Briefcase({"BASELINE": [json.dumps(sorted(urls))]})
+        request.put("DRAWER", "last-audit")
+        return home.call_service("ag_cabinet", "put", request)
+
+    def load_baseline():
+        request = Briefcase()
+        request.put("DRAWER", "last-audit")
+        return home.call_service("ag_cabinet", "get", request)
+
+    def await_report():
+        while True:
+            message = yield from home.recv(timeout=1_000_000)
+            if message.briefcase.has(wellknown.RESULTS):
+                return message.briefcase.get_json(wellknown.RESULTS)
+
+    def scenario():
+        print(f"scheduling audits at t=+1s and t=+{AUDIT_PERIOD:.0f}s "
+              "via ag_cron ...")
+        yield from schedule_audit(1.0)
+        yield from schedule_audit(AUDIT_PERIOD)
+
+        report1 = yield from await_report()
+        dead1 = dead_urls_of(report1)
+        print(f"\n[audit #1 at t={cluster.kernel.now:9.1f}s] "
+              f"{report1['pages_scanned']} pages, "
+              f"{len(dead1)} distinct dead links (baseline stored)")
+        yield from store_baseline(dead1)
+
+        # The site rots between audits: three pages disappear.
+        victims = sorted(site.pages)[40:43]
+        for path in victims:
+            del site.pages[path]
+        print(f"  (site rot injected: removed {', '.join(victims)})")
+
+        report2 = yield from await_report()
+        dead2 = dead_urls_of(report2)
+        baseline_reply = yield from load_baseline()
+        baseline = set(json.loads(
+            baseline_reply.get_text("BASELINE")))
+        fresh = sorted(dead2 - baseline)
+        print(f"\n[audit #2 at t={cluster.kernel.now:9.1f}s] "
+              f"{report2['pages_scanned']} pages, "
+              f"{len(dead2)} distinct dead links")
+        print(f"  newly broken since last audit ({len(fresh)}):")
+        for url in fresh:
+            print(f"    {url}")
+        yield from store_baseline(dead2)
+        return len(fresh)
+
+    fresh_count = cluster.run(scenario())
+    print(f"\ndone: {fresh_count} regressions flagged without re-reporting "
+          "the long-known dead links")
+
+
+if __name__ == "__main__":
+    main()

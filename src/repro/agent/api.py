@@ -1,0 +1,69 @@
+"""The TAX library under its original names (paper section 3.1).
+
+The paper's C library exposes ``bcSend()``/``bcRecv()`` and, on top of
+them, ``activate()``, ``await()``, ``meet()``, ``go()`` and ``spawn()``.
+:class:`~repro.agent.context.AgentContext` provides the same operations
+with Pythonic names; this module re-exports them as free functions with
+the paper's names, so code transliterated from TACOMA examples reads
+like the original::
+
+    def ag_main(ctx, bc):
+        yield from activate(ctx, "ag_exec", request)
+        reply = yield from await_bc(ctx)
+        yield from go(ctx, "tacoma://cl2.cs.uit.no/vm_python")
+
+All functions are generators and must be driven with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.briefcase import Briefcase
+from repro.agent.context import AgentContext, Target
+
+
+def bc_send(ctx: AgentContext, target: Target, briefcase: Briefcase):
+    """The basic send primitive: one briefcase to the firewall."""
+    return ctx.send(target, briefcase)
+
+
+def bc_recv(ctx: AgentContext, timeout: Optional[float] = None):
+    """The basic receive primitive: the next message for this agent."""
+    return ctx.recv(timeout=timeout)
+
+
+def activate(ctx: AgentContext, target: Target, briefcase: Briefcase):
+    """Asynchronous send ("equivalent to a send")."""
+    return ctx.send(target, briefcase)
+
+
+def await_bc(ctx: AgentContext, timeout: Optional[float] = None):
+    """Blocking receive returning the briefcase ("a blocking receive").
+
+    Named ``await_bc`` because ``await`` is a Python keyword.
+    """
+    return ctx.await_bc(timeout=timeout)
+
+
+def meet(ctx: AgentContext, target: Target, briefcase: Briefcase,
+         timeout: float = 60.0):
+    """Request/response ("meet() is a RPC")."""
+    return ctx.meet(target, briefcase, timeout=timeout)
+
+
+def go(ctx: AgentContext, vm_target: Target, timeout: float = 60.0):
+    """Move to another VM; "terminates the current instance if the move
+    is successful" — i.e. this call does not return on success."""
+    return ctx.go(vm_target, timeout=timeout)
+
+
+def spawn(ctx: AgentContext, vm_target: Target, timeout: float = 60.0):
+    """Clone onto another VM; the new instance number "is then reported
+    back to the calling agent" (returned as an AgentUri).  "This
+    resembles the Unix fork() system call."""
+    return ctx.spawn_to(vm_target, timeout=timeout)
+
+
+__all__ = ["bc_send", "bc_recv", "activate", "await_bc", "meet", "go",
+           "spawn"]

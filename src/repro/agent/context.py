@@ -1,0 +1,302 @@
+"""AgentContext: the TAX library, bound to one running agent.
+
+This is the per-agent instance of the shared library of paper section
+3.1: state management (the live briefcase), communication
+(``activate``/``await``/``meet`` built on ``bcSend``/``bcRecv``), and
+mobility (``go``/``spawn``).  Every blocking operation is a generator
+that agent code drives with ``yield from``.
+
+The context also owns the agent's wrapper stack: outbound briefcases are
+filtered innermost→outermost before reaching the firewall, mirroring the
+inbound interception the VM wires into the delivery path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Union
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import (
+    CommTimeoutError,
+    MigrationError,
+    TaxError,
+)
+from repro.core.uri import AgentUri
+from repro.core import wellknown
+from repro.agent.mailbox import Mailbox
+from repro.firewall.message import DEFAULT_QUEUE_TIMEOUT, Message, SenderInfo
+from repro.sim.errors import StopProcess
+from repro.sim.ledger import CostLedger
+from repro.sim.network import NetworkError
+
+Target = Union[str, AgentUri]
+
+#: Default patience for meet() round trips.
+DEFAULT_MEET_TIMEOUT = 60.0
+
+#: System folders the VM strips from a transport briefcase before launch.
+TRANSPORT_FOLDERS = (wellknown.MEET_TOKEN, wellknown.REPLY_TO, wellknown.OP)
+
+#: Cost of one wrapper layer observing one message.  Wrappers are agents
+#: in TAX; colocated interception is a cheap same-VM hop rather than a
+#: full firewall dispatch.
+WRAPPER_LAYER_SECONDS = 2e-5
+
+
+class AgentContext:
+    """Execution context handed to every agent's main generator."""
+
+    _token_counter = itertools.count(1)
+
+    def __init__(self, node, vm_name: str, briefcase: Briefcase,
+                 principal: str, wrappers=None):
+        if wrappers is None:
+            # Imported lazily: wrappers depend on the VM loader, which
+            # depends on this module (wrapper stacks travel in briefcases).
+            from repro.wrappers.stack import WrapperStack
+            wrappers = WrapperStack()
+        self.node = node
+        self.vm_name = vm_name
+        self.briefcase = briefcase
+        self.principal = principal
+        self.wrappers = wrappers
+        self.registration = None
+        self.mailbox: Optional[Mailbox] = None
+        self.moved = False
+        self.finished = False
+        self._pending_tokens: set = set()
+
+    # -- wiring (done by the VM at launch) -----------------------------------------
+
+    def attach(self, registration, mailbox: Mailbox) -> None:
+        self.registration = registration
+        self.mailbox = mailbox
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def kernel(self):
+        return self.node.kernel
+
+    @property
+    def firewall(self):
+        return self.node.firewall
+
+    @property
+    def host_name(self) -> str:
+        return self.node.host.name
+
+    @property
+    def name(self) -> str:
+        return self.registration.name
+
+    @property
+    def instance(self) -> str:
+        return self.registration.instance
+
+    @property
+    def uri(self) -> AgentUri:
+        """This agent's full, remotely-usable address."""
+        return self.firewall.uri_for(self.registration)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def log(self, text: str) -> None:
+        self.firewall.log(f"[{self.name}:{self.instance}] {text}")
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve(target: Target) -> AgentUri:
+        if isinstance(target, AgentUri):
+            return target
+        return AgentUri.parse(target)
+
+    def _sender_info(self) -> SenderInfo:
+        return SenderInfo(principal=self.principal, host=self.host_name,
+                          uri=self.uri, authenticated=True)
+
+    # -- communication primitives ------------------------------------------------------
+
+    def send(self, target: Target, briefcase: Optional[Briefcase] = None,
+             queue_timeout: float = DEFAULT_QUEUE_TIMEOUT):
+        """``activate``: fire-and-forget send of a briefcase snapshot.
+
+        ``ok = yield from ctx.send(target, bc)``.  The wrapper stack may
+        rewrite or swallow the send (swallowed sends return False).
+        """
+        target = self._resolve(target)
+        briefcase = briefcase if briefcase is not None else Briefcase()
+        if self.wrappers.depth:
+            yield self.kernel.timeout(
+                self.wrappers.depth * WRAPPER_LAYER_SECONDS)
+        filtered = self.wrappers.apply_send(self, target, briefcase)
+        if filtered is None:
+            yield self.kernel.timeout(0)
+            return False
+        target, briefcase = filtered
+        message = Message(target=target, briefcase=briefcase.snapshot(),
+                          sender=self._sender_info(),
+                          queue_timeout=queue_timeout)
+        return (yield from self.firewall.submit(message))
+
+    def post(self, target: Target, briefcase: Optional[Briefcase] = None):
+        """Asynchronous send: runs in its own process, returns immediately.
+
+        Usable from non-process code (wrapper hooks); errors are logged
+        rather than raised.
+        """
+        def _poster():
+            try:
+                yield from self.send(target, briefcase)
+            except TaxError as exc:
+                self.log(f"async send to {target} failed: {exc}")
+        return self.kernel.spawn(_poster(), name=f"post:{target}")
+
+    def recv(self, timeout: Optional[float] = None,
+             match: Optional[Callable[[Message], bool]] = None) -> Message:
+        """``await``: blocking receive.  ``msg = yield from ctx.recv()``."""
+        if self.mailbox is None:
+            raise TaxError("agent has no mailbox (not yet attached)")
+        message = yield from self.mailbox.receive(timeout=timeout,
+                                                  match=match)
+        if self.wrappers.depth:
+            # Inbound interception already happened at delivery; the
+            # layers' work is charged to the receiving agent here.
+            yield self.kernel.timeout(
+                self.wrappers.depth * WRAPPER_LAYER_SECONDS)
+        return message
+
+    def await_bc(self, timeout: Optional[float] = None) -> Briefcase:
+        """The paper-shaped ``await``: returns just the briefcase."""
+        message = yield from self.recv(timeout=timeout)
+        return message.briefcase
+
+    def meet(self, target: Target, briefcase: Briefcase,
+             timeout: float = DEFAULT_MEET_TIMEOUT) -> Briefcase:
+        """RPC: send a briefcase, await the correlated reply briefcase."""
+        token = f"mt-{self.instance}-{next(self._token_counter)}"
+        briefcase.put(wellknown.MEET_TOKEN, token)
+        briefcase.put(wellknown.REPLY_TO, str(self.uri))
+        self._pending_tokens.add(token)
+        try:
+            ok = yield from self.send(target, briefcase)
+            if not ok:
+                raise CommTimeoutError(f"meet with {target}: send was dropped")
+            reply = yield from self.recv(
+                timeout=timeout,
+                match=lambda m: m.briefcase.get_text(
+                    wellknown.MEET_TOKEN) == token)
+        finally:
+            self._pending_tokens.discard(token)
+        return reply.briefcase
+
+    def is_pending_reply(self, message: Message) -> bool:
+        """True when ``message`` answers one of this context's in-flight
+        meets.  Loops sharing a mailbox with concurrent meets use this to
+        avoid stealing replies: ``recv(match=lambda m: not
+        ctx.is_pending_reply(m))``."""
+        token = message.briefcase.get_text(wellknown.MEET_TOKEN)
+        return token is not None and token in self._pending_tokens
+
+    def reply(self, request: Union[Message, Briefcase],
+              response: Briefcase):
+        """Answer a meet(): route ``response`` back to the requester."""
+        request_bc = request.briefcase if isinstance(request, Message) \
+            else request
+        reply_to = request_bc.get_text(wellknown.REPLY_TO)
+        if reply_to is None:
+            raise TaxError("request carries no REPLY-TO; cannot reply")
+        token = request_bc.get_text(wellknown.MEET_TOKEN)
+        if token is not None:
+            response.put(wellknown.MEET_TOKEN, token)
+        return (yield from self.send(AgentUri.parse(reply_to), response))
+
+    def call_service(self, service_name: str, op: str,
+                     briefcase: Optional[Briefcase] = None,
+                     timeout: float = DEFAULT_MEET_TIMEOUT) -> Briefcase:
+        """meet() a local service agent with an OP folder set."""
+        briefcase = briefcase if briefcase is not None else Briefcase()
+        briefcase.put(wellknown.OP, op)
+        target = AgentUri.for_agent(service_name)
+        response = yield from self.meet(target, briefcase, timeout=timeout)
+        status = response.get_text(wellknown.STATUS, "error")
+        if status != "ok":
+            error = response.get_text(wellknown.ERROR, "unknown error")
+            raise TaxError(f"{service_name}.{op} failed: {error}")
+        return response
+
+    # -- mobility -------------------------------------------------------------------------
+
+    def _transport_briefcase(self) -> Briefcase:
+        transport = self.briefcase.snapshot()
+        transport.put(wellknown.AGENT_NAME, self.name)
+        transport.put(wellknown.PRINCIPAL, self.principal)
+        return transport
+
+    def go(self, vm_target: Target, timeout: float = DEFAULT_MEET_TIMEOUT):
+        """Move this agent to the VM at ``vm_target``.
+
+        On success the current instance terminates (the call never
+        returns); on failure :class:`MigrationError` is raised and the
+        agent continues here — the Figure-4 ``if (go(...)) { ... }``
+        pattern becomes ``try: yield from ctx.go(...) except
+        MigrationError``.
+        """
+        target = self._resolve(vm_target)
+        transport = self._transport_briefcase()
+        self.wrappers.on_depart(self, target)
+        try:
+            reply = yield from self.meet(target, transport, timeout=timeout)
+        except (TaxError, NetworkError) as exc:
+            raise MigrationError(f"go({target}) failed: {exc}") from exc
+        status = reply.get_text(wellknown.STATUS, "error")
+        if status != "ok":
+            error = reply.get_text(wellknown.ERROR, "launch failed")
+            raise MigrationError(f"go({target}) rejected: {error}")
+        # The move succeeded: terminate this instance.
+        self.moved = True
+        self.firewall.unregister_agent(self.registration.agent_id)
+        if self.mailbox is not None:
+            self.mailbox.close()
+        self.log(f"moved to {reply.get_text('AGENT-URI', str(target))}")
+        raise StopProcess("moved")
+
+    def spawn_to(self, vm_target: Target,
+                 timeout: float = DEFAULT_MEET_TIMEOUT) -> AgentUri:
+        """Clone this agent onto ``vm_target`` (Unix ``fork`` analogue).
+
+        The clone gets a fresh instance number at the destination; its
+        URI is returned to this (continuing) agent.
+        """
+        target = self._resolve(vm_target)
+        transport = self._transport_briefcase()
+        try:
+            reply = yield from self.meet(target, transport, timeout=timeout)
+        except (TaxError, NetworkError) as exc:
+            raise MigrationError(f"spawn({target}) failed: {exc}") from exc
+        status = reply.get_text(wellknown.STATUS, "error")
+        if status != "ok":
+            error = reply.get_text(wellknown.ERROR, "launch failed")
+            raise MigrationError(f"spawn({target}) rejected: {error}")
+        clone_uri = reply.get_text("AGENT-URI")
+        if clone_uri is None:
+            raise MigrationError("destination VM returned no clone URI")
+        return AgentUri.parse(clone_uri)
+
+    # -- time ------------------------------------------------------------------------------
+
+    def sleep(self, seconds: float):
+        yield self.kernel.timeout(seconds)
+
+    def charge(self, cost: Union[CostLedger, float]):
+        """Spend the virtual time a synchronous computation accumulated."""
+        seconds = cost.total_seconds if isinstance(cost, CostLedger) \
+            else float(cost)
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        yield self.kernel.timeout(seconds)
+        return seconds

@@ -1,0 +1,161 @@
+"""Streamed communication between agents (paper section 4).
+
+Multi-hop agents "may need combinations of streamed, group and/or
+location independent communication".  This module provides the streamed
+part: an ordered, flow-controlled byte channel between two agents,
+built entirely on the one primitive the system offers (briefcase
+messages), so it needs nothing from the landing pad.
+
+Protocol (folders ``ST-*``):
+
+- the sender opens with ``ST-KIND=open`` carrying a channel id and the
+  receiver replies ``ST-KIND=grant`` with its window size;
+- data chunks carry ``ST-SEQ``; the receiver acks with the highest
+  contiguous sequence (``ST-ACK``), which slides the sender's window;
+- ``ST-KIND=close`` carries the total chunk count; the receiver
+  finishes when it has everything.
+
+The receiver reorders out-of-order chunks, drops duplicates, and
+delivers exactly the bytes that were written — properties the tests
+drive through real multi-hop channels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import CommTimeoutError, TaxError
+from repro.core.uri import AgentUri
+from repro.core import wellknown
+
+KIND = "ST-KIND"
+CHANNEL = "ST-CHANNEL"
+SEQ = "ST-SEQ"
+ACK = "ST-ACK"
+DATA = "ST-DATA"
+WINDOW = "ST-WINDOW"
+TOTAL = "ST-TOTAL"
+
+KIND_OPEN = "open"
+KIND_GRANT = "grant"
+KIND_DATA = "data"
+KIND_ACK = "ack"
+KIND_CLOSE = "close"
+
+DEFAULT_CHUNK_BYTES = 8 * 1024
+DEFAULT_WINDOW = 4
+
+_channel_ids = itertools.count(1)
+
+
+def _is_stream(message, channel: Optional[str] = None,
+               kind: Optional[str] = None) -> bool:
+    briefcase = message.briefcase
+    if briefcase.get_text(KIND) is None:
+        return False
+    if channel is not None and briefcase.get_text(CHANNEL) != channel:
+        return False
+    if kind is not None and briefcase.get_text(KIND) != kind:
+        return False
+    return True
+
+
+def send_stream(ctx, target, data: bytes,
+                chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                timeout: float = 60.0) -> str:
+    """Stream ``data`` to ``target`` (generator); returns the channel id.
+
+    Blocks (in virtual time) until every chunk is acknowledged.
+    """
+    if isinstance(target, str):
+        target = AgentUri.parse(target)
+    channel = f"ch-{ctx.instance}-{next(_channel_ids)}"
+    chunks = [data[i:i + chunk_bytes]
+              for i in range(0, len(data), chunk_bytes)] or [b""]
+
+    # Handshake: open -> grant(window).
+    opening = Briefcase()
+    opening.put(KIND, KIND_OPEN)
+    opening.put(CHANNEL, channel)
+    opening.put(TOTAL, len(chunks))
+    grant = yield from ctx.meet(target, opening, timeout=timeout)
+    if grant.get_text(KIND) != KIND_GRANT:
+        raise TaxError(f"stream open to {target} rejected")
+    window = int(grant.get_json(WINDOW, DEFAULT_WINDOW))
+
+    acked = 0
+    next_seq = 0
+    while acked < len(chunks):
+        while next_seq < len(chunks) and next_seq - acked < window:
+            chunk_bc = Briefcase()
+            chunk_bc.put(KIND, KIND_DATA)
+            chunk_bc.put(CHANNEL, channel)
+            chunk_bc.put(SEQ, next_seq)
+            chunk_bc.folder(DATA).replace([chunks[next_seq]])
+            yield from ctx.send(target, chunk_bc)
+            next_seq += 1
+        ack_message = yield from ctx.recv(
+            timeout=timeout,
+            match=lambda m: _is_stream(m, channel, KIND_ACK))
+        acked = max(acked, int(ack_message.briefcase.get_json(ACK)) + 1)
+
+    closing = Briefcase()
+    closing.put(KIND, KIND_CLOSE)
+    closing.put(CHANNEL, channel)
+    closing.put(TOTAL, len(chunks))
+    yield from ctx.send(target, closing)
+    return channel
+
+
+def recv_stream(ctx, window: int = DEFAULT_WINDOW,
+                timeout: float = 60.0,
+                ack_every: int = 1) -> bytes:
+    """Accept one inbound stream (generator); returns the full payload.
+
+    Handles the open handshake, reorders chunks, suppresses duplicates,
+    and acknowledges the highest contiguous sequence.
+    """
+    open_message = yield from ctx.recv(
+        timeout=timeout, match=lambda m: _is_stream(m, kind=KIND_OPEN))
+    channel = open_message.briefcase.get_text(CHANNEL)
+    total = int(open_message.briefcase.get_json(TOTAL))
+    sender = open_message.briefcase.get_text(wellknown.REPLY_TO)
+    grant = Briefcase()
+    grant.put(KIND, KIND_GRANT)
+    grant.put(CHANNEL, channel)
+    grant.put(WINDOW, window)
+    yield from ctx.reply(open_message, grant)
+
+    received = {}
+    contiguous = -1
+    since_ack = 0
+    while len(received) < total:
+        message = yield from ctx.recv(
+            timeout=timeout, match=lambda m: _is_stream(m, channel))
+        kind = message.briefcase.get_text(KIND)
+        if kind == KIND_CLOSE:
+            continue  # the close may race ahead of a retransmit window
+        if kind != KIND_DATA:
+            continue
+        seq = int(message.briefcase.get_json(SEQ))
+        if seq not in received:
+            received[seq] = message.briefcase.get_first(DATA).data
+            while contiguous + 1 in received:
+                contiguous += 1
+        since_ack += 1
+        if since_ack >= ack_every or len(received) == total:
+            since_ack = 0
+            ack_bc = Briefcase()
+            ack_bc.put(KIND, KIND_ACK)
+            ack_bc.put(CHANNEL, channel)
+            ack_bc.put(ACK, contiguous)
+            yield from ctx.send(AgentUri.parse(sender), ack_bc)
+    # Consume the close if it has not arrived yet.
+    try:
+        yield from ctx.recv(
+            timeout=1.0, match=lambda m: _is_stream(m, channel, KIND_CLOSE))
+    except CommTimeoutError:
+        pass
+    return b"".join(received[i] for i in range(total))

@@ -1,0 +1,81 @@
+"""Result tables and paper-vs-measured reporting for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """A plain fixed-width table (the harness prints these)."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                text = f"{cell:.3f}" if abs(cell) >= 0.01 or cell == 0 \
+                    else f"{cell:.6f}"
+            elif isinstance(cell, int):
+                text = f"{cell:,d}"
+            else:
+                text = str(cell)
+            columns[i].append(text)
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in
+                            zip([c[0] for c in columns], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for r in range(1, len(columns[0])):
+        lines.append("  ".join(columns[i][r].rjust(widths[i])
+                               for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+@dataclass
+class PaperClaim:
+    """One paper statement and what we measured against it."""
+
+    experiment: str
+    claim: str
+    measured: str
+    holds: bool
+
+    def render(self) -> str:
+        verdict = "REPRODUCED" if self.holds else "DIVERGED"
+        return (f"[{verdict}] {self.experiment}\n"
+                f"  paper:    {self.claim}\n"
+                f"  measured: {self.measured}")
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment run produced."""
+
+    experiment_id: str
+    description: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List] = field(default_factory=list)
+    claims: List[PaperClaim] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def add_claim(self, claim: str, measured: str, holds: bool) -> None:
+        self.claims.append(PaperClaim(self.experiment_id, claim,
+                                      measured, holds))
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment_id}: {self.description} ==="]
+        if self.rows:
+            parts.append(render_table(self.headers, self.rows))
+        for claim in self.claims:
+            parts.append(claim.render())
+        return "\n".join(parts)

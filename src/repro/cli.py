@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiments [E1 E2 ...]`` — run the paper-reproduction experiments
+  and print paper-vs-measured tables (all of them by default);
+- ``crawl`` — one ad-hoc link-check comparison (stationary vs mobile)
+  on a synthetic site with configurable scale and network;
+- ``site`` — generate a synthetic site and print its statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.runner import main as experiments_main
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.mining.strategies import (
+        CrawlTask, run_mobile, run_stationary)
+    from repro.system.bootstrap import build_linkcheck_testbed
+    from repro.web.site import SiteSpec
+
+    spec = SiteSpec(host="www.cs.uit.no", n_pages=args.pages,
+                    total_bytes=args.bytes,
+                    external_hosts=("www.w3.org", "www.cornell.edu"),
+                    seed=args.seed)
+    testbed = build_linkcheck_testbed(
+        spec=spec, bandwidth=args.bandwidth_mbit * 1_000_000 / 8,
+        latency=args.latency_ms / 1000.0)
+    site = testbed.site_of(spec.host)
+    print(f"site: {site.n_pages} pages, {site.total_bytes:,d} bytes, "
+          f"{site.truth.dead_total} planted dead links")
+    task = CrawlTask.for_site(site, max_depth=args.max_depth)
+    rows = []
+    if args.strategy in ("stationary", "both"):
+        rows.append(run_stationary(testbed, [task]))
+    if args.strategy in ("mobile", "both"):
+        rows.append(run_mobile(testbed, [task], monitor=args.monitor))
+    for metrics in rows:
+        print(metrics.summary_row())
+    if len(rows) == 2:
+        ratio = rows[0].elapsed_seconds / rows[1].elapsed_seconds
+        print(f"speedup (stationary/mobile): {ratio:.3f}")
+    return 0
+
+
+def _cmd_site(args: argparse.Namespace) -> int:
+    from repro.web.site import SiteSpec, generate_site
+
+    spec = SiteSpec(host=args.host, n_pages=args.pages,
+                    total_bytes=args.bytes, seed=args.seed,
+                    external_hosts=("www.w3.org",),
+                    redirect_fraction=args.redirects,
+                    robots_disallow=("/private",) if args.robots else (),
+                    private_pages=5 if args.robots else 0)
+    site = generate_site(spec)
+    truth = site.truth
+    print(f"host          : {site.host}")
+    print(f"pages         : {site.n_pages}")
+    print(f"bytes         : {site.total_bytes:,d}")
+    print(f"dead internal : {len(truth.dead_internal)}")
+    print(f"dead external : {len(truth.dead_external)}")
+    print(f"redirects     : {len(site.redirects)} "
+          f"({len(truth.redirect_dead)} dead)")
+    print(f"robots rules  : "
+          f"{site.robots_txt.count('Disallow') if site.robots_txt else 0}")
+    for depth in (1, 2, 4, 8):
+        print(f"pages within depth {depth}: "
+              f"{truth.pages_within_depth(depth)}")
+    if args.show_truth:
+        for src, href in truth.dead_internal:
+            print(f"  dead: {src} -> {href}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TAX 2.0 / wrapped-Webbot reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiments",
+                         help="run the paper-reproduction experiments")
+    exp.add_argument("ids", nargs="*", default=[],
+                     help="experiment ids (default: all)")
+    exp.add_argument("--seed", type=int, default=2000)
+    exp.add_argument("--json", dest="json_path", default=None,
+                     help="also write machine-readable results here")
+
+    crawl = sub.add_parser("crawl", help="ad-hoc link-check comparison")
+    crawl.add_argument("--pages", type=int, default=200)
+    crawl.add_argument("--bytes", type=int, default=650_000)
+    crawl.add_argument("--bandwidth-mbit", type=float, default=100.0)
+    crawl.add_argument("--latency-ms", type=float, default=0.5)
+    crawl.add_argument("--max-depth", type=int, default=12)
+    crawl.add_argument("--strategy",
+                       choices=("stationary", "mobile", "both"),
+                       default="both")
+    crawl.add_argument("--monitor", action="store_true")
+    crawl.add_argument("--seed", type=int, default=2000)
+
+    site = sub.add_parser("site", help="generate and describe a site")
+    site.add_argument("--host", default="www.cs.uit.no")
+    site.add_argument("--pages", type=int, default=917)
+    site.add_argument("--bytes", type=int, default=3_000_000)
+    site.add_argument("--seed", type=int, default=2000)
+    site.add_argument("--redirects", type=float, default=0.0)
+    site.add_argument("--robots", action="store_true")
+    site.add_argument("--show-truth", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        forwarded = list(args.ids) + ["--seed", str(args.seed)]
+        if args.json_path:
+            forwarded += ["--json", args.json_path]
+        return experiments_main(forwarded)
+    if args.command == "crawl":
+        return _cmd_crawl(args)
+    if args.command == "site":
+        return _cmd_site(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core TAX data model: elements, folders, briefcases, identities, URIs.
+
+This is the language-independent heart of the system (paper section 3.1):
+everything agents exchange or carry is a briefcase, and everything a
+briefcase contains is uninterpreted bytes.
+"""
+
+from repro.core import codec, wellknown
+from repro.core.briefcase import Briefcase
+from repro.core.element import Element
+from repro.core.errors import (
+    AccessDeniedError,
+    AgentNotFoundError,
+    AmbiguousAgentError,
+    BriefcaseError,
+    CodecError,
+    CommTimeoutError,
+    FolderNotFoundError,
+    IdentityError,
+    MigrationError,
+    SandboxViolation,
+    ServiceError,
+    TaxError,
+    TrustError,
+    UnsupportedPayloadError,
+    UriSyntaxError,
+    VMError,
+)
+from repro.core.folder import Folder
+from repro.core.identity import (
+    ANONYMOUS_PRINCIPAL,
+    SYSTEM_PRINCIPAL,
+    AgentId,
+    InstanceAllocator,
+    Principal,
+)
+from repro.core.uri import DEFAULT_PORT, AgentUri
+
+__all__ = [
+    "codec", "wellknown",
+    "Briefcase", "Element", "Folder",
+    "AgentId", "InstanceAllocator", "Principal",
+    "ANONYMOUS_PRINCIPAL", "SYSTEM_PRINCIPAL",
+    "AgentUri", "DEFAULT_PORT",
+    "AccessDeniedError", "AgentNotFoundError", "AmbiguousAgentError",
+    "BriefcaseError", "CodecError", "CommTimeoutError",
+    "FolderNotFoundError", "IdentityError", "MigrationError",
+    "SandboxViolation", "ServiceError", "TaxError", "TrustError",
+    "UnsupportedPayloadError", "UriSyntaxError", "VMError",
+]

@@ -1,0 +1,137 @@
+"""Deterministic wire format for briefcases.
+
+Briefcases are the only thing that crosses host boundaries, so the codec
+defines both interoperability and the byte counts the network cost model
+charges.  The format is a simple length-prefixed binary layout:
+
+.. code-block:: text
+
+    "TAXB"                magic, 4 bytes
+    u8                    format version (currently 1)
+    u32                   folder count
+    per folder:
+        u16 + utf-8       folder name
+        u32               element count
+        per element:
+            u32 + raw     element bytes
+
+All integers are big-endian.  Folders are serialised in insertion order,
+which makes encode→decode→encode byte-identical (tested by property
+tests), while two briefcases that merely differ in folder insertion order
+still compare equal at the :class:`~repro.core.briefcase.Briefcase` level.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import CodecError
+
+MAGIC = b"TAXB"
+VERSION = 1
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+#: Hard caps guarding against corrupt/hostile input.
+MAX_FOLDERS = 1_000_000
+MAX_ELEMENTS = 10_000_000
+MAX_ELEMENT_BYTES = 1 << 31
+
+
+def encode(briefcase: Briefcase) -> bytes:
+    """Serialise a briefcase to its wire representation."""
+    parts = [MAGIC, _U8.pack(VERSION)]
+    folders = list(briefcase)
+    parts.append(_U32.pack(len(folders)))
+    for folder in folders:
+        name_bytes = folder.name.encode("utf-8")
+        if len(name_bytes) > 0xFFFF:
+            raise CodecError(f"folder name too long: {folder.name[:40]!r}...")
+        parts.append(_U16.pack(len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(_U32.pack(len(folder)))
+        for element in folder:
+            data = element.data
+            parts.append(_U32.pack(len(data)))
+            parts.append(data)
+    return b"".join(parts)
+
+
+def encoded_size(briefcase: Briefcase) -> int:
+    """The exact wire size in bytes, without materialising the encoding."""
+    size = len(MAGIC) + _U8.size + _U32.size
+    for folder in briefcase:
+        size += _U16.size + len(folder.name.encode("utf-8")) + _U32.size
+        for element in folder:
+            size += _U32.size + len(element)
+    return size
+
+
+class _Reader:
+    """Cursor over a bytes buffer with bounds checking."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.data):
+            raise CodecError(
+                f"truncated briefcase: wanted {n} bytes at offset {self.pos}, "
+                f"buffer has {len(self.data)}")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return _U8.unpack(self.take(_U8.size))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(_U16.size))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(_U32.size))[0]
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def decode(data: bytes) -> Briefcase:
+    """Parse a wire representation back into a briefcase."""
+    reader = _Reader(data)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise CodecError("bad magic: not a TAX briefcase")
+    version = reader.u8()
+    if version != VERSION:
+        raise CodecError(f"unsupported briefcase format version {version}")
+    folder_count = reader.u32()
+    if folder_count > MAX_FOLDERS:
+        raise CodecError(f"implausible folder count {folder_count}")
+    briefcase = Briefcase()
+    for _ in range(folder_count):
+        name_len = reader.u16()
+        try:
+            name = reader.take(name_len).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError("folder name is not valid UTF-8") from exc
+        if not name:
+            raise CodecError("empty folder name on the wire")
+        if briefcase.has(name):
+            raise CodecError(f"duplicate folder {name!r} on the wire")
+        element_count = reader.u32()
+        if element_count > MAX_ELEMENTS:
+            raise CodecError(f"implausible element count {element_count}")
+        folder = briefcase.folder(name)
+        for _ in range(element_count):
+            size = reader.u32()
+            if size > MAX_ELEMENT_BYTES:
+                raise CodecError(f"implausible element size {size}")
+            folder.push(reader.take(size))
+    if not reader.exhausted:
+        raise CodecError(
+            f"{len(data) - reader.pos} trailing bytes after briefcase")
+    return briefcase

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the TAX agent system."""
+
+
+class TaxError(Exception):
+    """Base class for all TAX errors."""
+
+
+class BriefcaseError(TaxError):
+    """Malformed briefcase operation."""
+
+
+class FolderNotFoundError(BriefcaseError, KeyError):
+    """A briefcase does not contain the requested folder."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"no folder named {self.name!r} in briefcase"
+
+
+class CodecError(TaxError):
+    """A briefcase could not be encoded or decoded."""
+
+
+class UriSyntaxError(TaxError, ValueError):
+    """An agent URI does not conform to the Figure-2 EBNF grammar."""
+
+
+class IdentityError(TaxError, ValueError):
+    """An invalid principal or agent identifier."""
+
+
+class AccessDeniedError(TaxError):
+    """The firewall's reference monitor rejected an operation."""
+
+
+class TrustError(AccessDeniedError):
+    """A signature was missing, invalid, or from an untrusted principal."""
+
+
+class AgentNotFoundError(TaxError):
+    """No registered agent matches the given address."""
+
+
+class AmbiguousAgentError(TaxError):
+    """A partially-specified address matched more than one agent."""
+
+
+class CommTimeoutError(TaxError):
+    """A queued message or a blocking receive timed out."""
+
+
+class VMError(TaxError):
+    """A virtual machine failed to host or execute an agent."""
+
+
+class UnsupportedPayloadError(VMError):
+    """The VM cannot execute this kind of agent payload."""
+
+
+class MigrationError(TaxError):
+    """An agent's ``go``/``spawn`` could not be completed."""
+
+
+class ServiceError(TaxError):
+    """A service agent (ag_exec, ag_fs, ...) reported a failure."""
+
+
+class SandboxViolation(VMError):
+    """Sandboxed agent code exceeded its budget or touched a denied capability."""

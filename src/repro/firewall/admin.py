@@ -1,0 +1,91 @@
+"""Firewall admin operations, addressed to the firewall itself.
+
+Paper section 3.2: *"agents with sufficient privileges need support for
+operations such as listing running agents, determining their run time,
+and killing or stopping agents.  All this is achieved by addressing
+messages directly to the firewall."*
+
+The admin endpoint is a service agent registered under the name
+``firewall``; every operation is gated by ``policy.can_admin``.
+"""
+
+from __future__ import annotations
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import ServiceError
+from repro.core import wellknown
+from repro.firewall.message import Message
+from repro.services.base import ServiceAgent
+
+
+class FirewallAdmin(ServiceAgent):
+    """list / stat / kill / stop / resume, with access control."""
+
+    name = "firewall"
+
+    def authorize(self, message: Message, op: str) -> bool:
+        return self.firewall.policy.can_admin(message.sender)
+
+    def op_list(self, message: Message):
+        yield self.kernel.timeout(0)
+        agents = [{
+            "name": reg.name,
+            "instance": reg.instance,
+            "principal": reg.principal,
+            "vm": reg.vm_name,
+            "runtime": self.kernel.now - reg.start_time,
+            "paused": reg.paused,
+        } for reg in self.firewall.admin_list()]
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"agents": agents})
+        return response
+
+    def _instance_arg(self, message: Message) -> str:
+        args = message.briefcase.get_json(wellknown.ARGS, {})
+        instance = args.get("instance") if isinstance(args, dict) else None
+        if not instance:
+            raise ServiceError("admin op needs ARGS {'instance': ...}")
+        return instance
+
+    def op_stat(self, message: Message):
+        instance = self._instance_arg(message)
+        yield self.kernel.timeout(0)
+        registration = self.firewall.registry.by_instance(instance)
+        if registration is None:
+            raise ServiceError(f"no agent with instance {instance!r}")
+        process = registration.process
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {
+            "name": registration.name,
+            "instance": registration.instance,
+            "principal": registration.principal,
+            "vm": registration.vm_name,
+            "runtime": self.kernel.now - registration.start_time,
+            "paused": registration.paused,
+            "alive": bool(getattr(process, "is_alive", False)),
+        })
+        return response
+
+    def op_kill(self, message: Message):
+        instance = self._instance_arg(message)
+        yield self.kernel.timeout(0)
+        killed = self.firewall.admin_kill(instance)
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"killed": killed})
+        return response
+
+    def op_stop(self, message: Message):
+        instance = self._instance_arg(message)
+        yield self.kernel.timeout(0)
+        stopped = self.firewall.admin_pause(instance)
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"stopped": stopped})
+        return response
+
+    def op_resume(self, message: Message):
+        instance = self._instance_arg(message)
+        yield self.kernel.timeout(0)
+        resumed = self.firewall.admin_resume(instance)
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"resumed": resumed})
+        return response

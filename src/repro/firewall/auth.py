@@ -1,0 +1,140 @@
+"""Signing and trust: the firewall's "first level authentication".
+
+The paper's firewall authenticates arriving agents *"based on parameters
+such as the presence of a signed agent core or the presence of an
+authenticated and trusted sender"*, and ``vm_bin`` *"executes binaries
+directly on top of the operating system, provided the binary is signed by
+a trusted principal"*.
+
+We substitute HMAC-SHA256 for public-key signatures (stdlib-only; the
+trust *decision* — who signed it, and do we trust them — is identical).
+A :class:`KeyChain` holds the secrets principals sign with; a
+:class:`TrustStore` is each site's local policy: which principals' keys
+it knows, and which of those it trusts to run native code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.core.errors import TrustError
+from repro.core.identity import validate_principal
+
+
+def _mac(secret: bytes, data: bytes) -> str:
+    return hmac.new(secret, data, hashlib.sha256).hexdigest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature: who claims to have signed, and the MAC."""
+
+    principal: str
+    mac: str
+
+    def to_text(self) -> str:
+        return f"{self.principal}:{self.mac}"
+
+    @classmethod
+    def from_text(cls, text: str) -> "Signature":
+        principal, sep, mac = text.rpartition(":")
+        if not sep or not principal or not mac:
+            raise TrustError(f"malformed signature {text!r}")
+        return cls(validate_principal(principal), mac)
+
+
+class KeyChain:
+    """Principal → signing secret (the private side)."""
+
+    def __init__(self):
+        self._secrets: Dict[str, bytes] = {}
+
+    def create_key(self, principal: str, secret: Optional[bytes] = None
+                   ) -> bytes:
+        principal = validate_principal(principal)
+        if secret is None:
+            secret = hashlib.sha256(f"key:{principal}".encode()).digest()
+        self._secrets[principal] = secret
+        return secret
+
+    def secret_for(self, principal: str) -> bytes:
+        try:
+            return self._secrets[principal]
+        except KeyError:
+            raise TrustError(f"no signing key for {principal!r}") from None
+
+    def sign(self, principal: str, data: bytes) -> Signature:
+        return Signature(principal, _mac(self.secret_for(principal), data))
+
+
+class TrustStore:
+    """One site's verification keys and trust policy (the public side).
+
+    ``known`` principals can be *verified*; ``trusted`` principals are
+    additionally allowed to run unrestricted code (vm_bin).
+    """
+
+    def __init__(self):
+        self._verify_secrets: Dict[str, bytes] = {}
+        self._trusted: Set[str] = set()
+
+    def add_principal(self, principal: str, secret: bytes,
+                      trusted: bool = False) -> None:
+        principal = validate_principal(principal)
+        self._verify_secrets[principal] = secret
+        if trusted:
+            self._trusted.add(principal)
+
+    def knows(self, principal: str) -> bool:
+        return principal in self._verify_secrets
+
+    def is_trusted(self, principal: str) -> bool:
+        return principal in self._trusted
+
+    def trust(self, principal: str) -> None:
+        if principal not in self._verify_secrets:
+            raise TrustError(
+                f"cannot trust unknown principal {principal!r}")
+        self._trusted.add(principal)
+
+    def revoke(self, principal: str) -> None:
+        self._trusted.discard(principal)
+
+    def verify(self, signature: Signature, data: bytes) -> str:
+        """Check a signature; returns the verified principal name.
+
+        Raises :class:`TrustError` when the principal is unknown or the
+        MAC does not match.
+        """
+        secret = self._verify_secrets.get(signature.principal)
+        if secret is None:
+            raise TrustError(
+                f"signature by unknown principal {signature.principal!r}")
+        expected = _mac(secret, data)
+        if not hmac.compare_digest(expected, signature.mac):
+            raise TrustError(
+                f"bad signature claimed by {signature.principal!r}")
+        return signature.principal
+
+    def verify_trusted(self, signature: Signature, data: bytes) -> str:
+        """Verify and additionally require the signer to be trusted."""
+        principal = self.verify(signature, data)
+        if not self.is_trusted(principal):
+            raise TrustError(
+                f"principal {principal!r} is verified but not trusted "
+                "to run native code")
+        return principal
+
+
+def build_shared_trust(principals: Dict[str, bool]) -> "tuple[KeyChain, TrustStore]":
+    """Convenience for tests/experiments: one keychain + a trust store
+    knowing every principal; the bool marks trusted ones."""
+    keychain = KeyChain()
+    store = TrustStore()
+    for principal, trusted in principals.items():
+        secret = keychain.create_key(principal)
+        store.add_principal(principal, secret, trusted=trusted)
+    return keychain, store

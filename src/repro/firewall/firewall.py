@@ -1,0 +1,329 @@
+"""The TAX firewall: per-host reference monitor and communication broker.
+
+Paper section 3.2.  Each host runs exactly one firewall; it
+
+- mediates **all** communication between local VMs and to remote
+  firewalls, enforcing the access policy as it does so;
+- performs **initial authentication** of arriving agents (signed agent
+  core, or the claimed principal left unauthenticated);
+- **queues** messages (with a timeout) when the receiver is not ready or
+  has not yet arrived;
+- resolves **partially-specified names** (see
+  :mod:`repro.firewall.routing`);
+- supports **admin operations** — listing, stat'ing, stopping and killing
+  agents — via messages addressed to the firewall itself (see
+  :mod:`repro.firewall.admin`).
+
+In the original system the firewall was a multi-threaded Unix process
+with one thread per VM; here each firewall is an object whose methods run
+inside the calling agent's simulation process, with queueing and TTLs
+delegated to kernel events.  The serialization boundary is real: every
+remote message is charged for its encoded briefcase size on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import codec
+from repro.core.briefcase import Briefcase
+from repro.core.errors import (
+    AccessDeniedError,
+    AgentNotFoundError,
+    TaxError,
+    TrustError,
+)
+from repro.core.identity import AgentId, InstanceAllocator, SYSTEM_PRINCIPAL
+from repro.core.uri import AgentUri
+from repro.core import wellknown
+from repro.firewall.auth import Signature, TrustStore
+from repro.firewall.message import (
+    DeliveryStats,
+    ENVELOPE_OVERHEAD_BYTES,
+    Message,
+    SenderInfo,
+)
+from repro.firewall.msgqueue import PendingQueue
+from repro.firewall.policy import Policy, open_policy
+from repro.firewall.routing import Registration, Registry
+from repro.sim.eventloop import Kernel
+from repro.sim.host import SimHost
+from repro.sim.network import Network, NetworkError
+
+#: Cost of brokering one local message through the firewall (two IPC hops
+#: through the reference monitor).
+LOCAL_DISPATCH_SECONDS = 0.0002
+
+#: Maximum retained event-log entries per firewall.
+EVENT_LOG_LIMIT = 10_000
+
+
+class FirewallDirectory:
+    """host name → firewall; the inter-firewall "routing table"."""
+
+    def __init__(self):
+        self._firewalls: Dict[str, "Firewall"] = {}
+
+    def add(self, firewall: "Firewall") -> None:
+        name = firewall.host.name
+        if name in self._firewalls:
+            raise ValueError(f"duplicate firewall for host {name!r}")
+        self._firewalls[name] = firewall
+
+    def lookup(self, host_name: str) -> Optional["Firewall"]:
+        return self._firewalls.get(host_name)
+
+    def __contains__(self, host_name: str) -> bool:
+        return host_name in self._firewalls
+
+
+def code_signing_bytes(briefcase: Briefcase) -> bytes:
+    """The byte string a code signature covers: all CODE elements plus the
+    payload kind (so a signed source blob cannot be replayed as a binary)."""
+    parts = []
+    if briefcase.has(wellknown.CODE_KIND):
+        parts.append(briefcase.get(wellknown.CODE_KIND).first().data)
+    if briefcase.has(wellknown.CODE):
+        for element in briefcase.get(wellknown.CODE):
+            parts.append(element.data)
+    return b"\x00".join(parts)
+
+
+class Firewall:
+    """One host's reference monitor."""
+
+    def __init__(self, kernel: Kernel, network: Network, host: SimHost,
+                 trust_store: Optional[TrustStore] = None,
+                 policy: Optional[Policy] = None,
+                 directory: Optional[FirewallDirectory] = None,
+                 site_ordinal: int = 0,
+                 port: int = 27017):
+        self.kernel = kernel
+        self.network = network
+        self.host = host
+        self.port = port
+        self.trust_store = trust_store or TrustStore()
+        self.policy = policy or open_policy()
+        self.directory = directory or FirewallDirectory()
+        self.registry = Registry()
+        self.instances = InstanceAllocator(site_ordinal)
+        self.pending = PendingQueue(kernel, on_expire=self._on_expire)
+        self.stats = DeliveryStats()
+        self.events: List[Tuple[float, str]] = []
+        #: VM name → object implementing launch_agent(); set by the node.
+        self.vms: Dict[str, object] = {}
+        self.directory.add(self)
+
+    # -- logging --------------------------------------------------------------------
+
+    def log(self, text: str) -> None:
+        if len(self.events) < EVENT_LOG_LIMIT:
+            self.events.append((self.kernel.now, text))
+
+    def _on_expire(self, message: Message) -> None:
+        self.stats.expired += 1
+        self.log(f"expired queued message for {message.target}")
+
+    # -- registration (called by VMs) --------------------------------------------------
+
+    def register_agent(self, name: str, principal: str, vm_name: str,
+                       deliver_fn: Callable[[Message], bool],
+                       process: Optional[object] = None,
+                       instance: Optional[str] = None) -> Registration:
+        """Register a running agent; flushes any matching queued messages."""
+        agent_id = AgentId(name, instance or self.instances.next_instance())
+        registration = Registration(
+            agent_id=agent_id, principal=principal, vm_name=vm_name,
+            deliver_fn=deliver_fn, start_time=self.kernel.now,
+            process=process)
+        self.registry.add(registration)
+        self.log(f"registered {agent_id} principal={principal} vm={vm_name}")
+        self._flush_pending_for(registration)
+        return registration
+
+    def unregister_agent(self, agent_id: AgentId) -> bool:
+        registration = self.registry.remove(agent_id)
+        if registration is not None:
+            self.log(f"unregistered {agent_id}")
+            return True
+        return False
+
+    def _flush_pending_for(self, registration: Registration) -> None:
+        for message in self.pending.claim(
+                lambda target: self._pending_match(registration, target)):
+            self.stats.delivered += 1
+            registration.deliver(message)
+
+    def _pending_match(self, registration: Registration,
+                       target: AgentUri) -> bool:
+        local = target.local()
+        if not local.matches_agent(registration.name,
+                                   registration.instance,
+                                   registration.principal):
+            return False
+        if local.principal is None and \
+                registration.principal != SYSTEM_PRINCIPAL:
+            # Without a sender at flush time we only honour the system
+            # half of the two-valid-principals rule; sender-principal
+            # matches are resolved at send time.
+            return False
+        return True
+
+    # -- the send path --------------------------------------------------------------------
+
+    def submit(self, message: Message):
+        """Broker one message (``yield from`` inside the sender's process).
+
+        Local targets are dispatched after the local-IPC cost; remote
+        targets are encoded, charged on the wire, and handed to the peer
+        firewall.  Returns True when the message reached a mailbox or a
+        queue, False when it was dropped by policy or routing.
+        """
+        target = message.target
+        if target.is_remote and target.host != self.host.name:
+            return (yield from self._forward_remote(message))
+        yield self.kernel.timeout(LOCAL_DISPATCH_SECONDS)
+        return self._dispatch_local(message)
+
+    def _forward_remote(self, message: Message):
+        from repro.firewall.message import MAX_HOPS
+        if message.hops >= MAX_HOPS:
+            self.stats.rejected += 1
+            self.log(f"dropped looping message for {message.target} "
+                     f"(hops={message.hops})")
+            return False
+        peer = self.directory.lookup(message.target.host)
+        if peer is None:
+            self.stats.rejected += 1
+            self.log(f"no route to host {message.target.host!r}")
+            raise AgentNotFoundError(
+                f"unknown host {message.target.host!r}")
+        wire_bytes = codec.encoded_size(message.briefcase) + \
+            ENVELOPE_OVERHEAD_BYTES
+        try:
+            yield from self.network.transfer(
+                self.host.name, peer.host.name, wire_bytes)
+        except NetworkError:
+            self.stats.rejected += 1
+            self.log(f"transfer to {peer.host.name} failed")
+            raise
+        self.stats.forwarded_remote += 1
+        transported = message.snapshot_for_transport()
+        return peer.receive_remote(transported)
+
+    def receive_remote(self, message: Message) -> bool:
+        """Entry point for messages arriving from a peer firewall."""
+        self.stats.received_remote += 1
+        try:
+            message = self._authenticate(message)
+        except TrustError as exc:
+            self.stats.rejected += 1
+            self.log(f"rejected remote message: {exc}")
+            return False
+        return self._dispatch_local(message)
+
+    def _authenticate(self, message: Message) -> Message:
+        """First-level authentication of an arriving briefcase.
+
+        A valid signature over the agent core authenticates the signing
+        principal.  An *invalid* signature is rejected outright.  No
+        signature means the claimed principal stays unauthenticated.
+        """
+        briefcase = message.briefcase
+        signature_text = briefcase.get_text(wellknown.SIGNATURE)
+        if signature_text is None:
+            return Message(
+                target=message.target, briefcase=briefcase,
+                sender=SenderInfo(
+                    principal=message.sender.principal,
+                    host=message.sender.host,
+                    uri=message.sender.uri,
+                    authenticated=False),
+                queue_timeout=message.queue_timeout, hops=message.hops)
+        signature = Signature.from_text(signature_text)
+        principal = self.trust_store.verify(
+            signature, code_signing_bytes(briefcase))
+        return Message(
+            target=message.target, briefcase=briefcase,
+            sender=SenderInfo(
+                principal=principal, host=message.sender.host,
+                uri=message.sender.uri, authenticated=True),
+            queue_timeout=message.queue_timeout, hops=message.hops)
+
+    def _dispatch_local(self, message: Message) -> bool:
+        target = message.target.local()
+        local_message = message.with_target(target)
+        try:
+            registration = self.registry.resolve_one(
+                target, message.sender.principal)
+        except AgentNotFoundError:
+            if message.queue_timeout > 0:
+                self.stats.queued += 1
+                self.log(f"queued message for absent {target}")
+                self.pending.park(local_message)
+                return True
+            self.stats.rejected += 1
+            return False
+        if not self.policy.can_send(message.sender, registration):
+            self.stats.rejected += 1
+            self.log(f"policy rejected {message.sender.principal} -> "
+                     f"{registration.agent_id}")
+            raise AccessDeniedError(
+                f"{message.sender.principal!r} may not send to "
+                f"{registration.agent_id}")
+        delivered = registration.deliver(local_message)
+        if delivered:
+            self.stats.delivered += 1
+        else:
+            self.stats.dropped_by_wrapper += 1
+            self.log(f"delivery to {registration.agent_id} dropped")
+        return delivered
+
+    # -- addressing helpers ------------------------------------------------------------------
+
+    def uri_for(self, registration: Registration) -> AgentUri:
+        """The full remote-usable URI of a local registration."""
+        return AgentUri(host=self.host.name, port=self.port,
+                        principal=registration.principal,
+                        name=registration.name,
+                        instance=registration.instance)
+
+    def find_registration(self, target: AgentUri,
+                          sender_principal: Optional[str] = None
+                          ) -> Optional[Registration]:
+        found = self.registry.matches(target.local(), sender_principal)
+        return found[0] if found else None
+
+    # -- admin primitives (used by the admin agent) ---------------------------------------------
+
+    def admin_list(self) -> List[Registration]:
+        return self.registry.all()
+
+    def admin_kill(self, instance: str) -> bool:
+        """Terminate an agent: interrupt its process and unregister it."""
+        registration = self.registry.by_instance(instance)
+        if registration is None:
+            return False
+        process = registration.process
+        if process is not None and getattr(process, "is_alive", False):
+            process.interrupt("killed-by-admin")
+        self.registry.remove(registration.agent_id)
+        self.log(f"killed {registration.agent_id}")
+        return True
+
+    def admin_pause(self, instance: str) -> bool:
+        registration = self.registry.by_instance(instance)
+        if registration is None:
+            return False
+        registration.pause()
+        self.log(f"paused {registration.agent_id}")
+        return True
+
+    def admin_resume(self, instance: str) -> bool:
+        registration = self.registry.by_instance(instance)
+        if registration is None:
+            return False
+        flushed = registration.resume()
+        self.log(f"resumed {registration.agent_id} "
+                 f"(flushed {flushed} messages)")
+        return True

@@ -1,0 +1,75 @@
+"""Message envelopes: what actually moves between agents and firewalls.
+
+A message is a briefcase plus addressing metadata.  The briefcase is the
+*only* application-visible part (the paper's minimal two-action interface:
+send a briefcase / receive a briefcase); the envelope carries what the
+reference monitor needs — who sent it, where it should go, and how long
+it may wait in a queue for an absent receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.briefcase import Briefcase
+from repro.core.uri import AgentUri
+
+#: Bytes of envelope/framing added to the encoded briefcase on the wire.
+ENVELOPE_OVERHEAD_BYTES = 128
+
+#: Default seconds a message may wait for its receiver (paper section 3.2:
+#: "messages ... are queued with a timeout value").
+DEFAULT_QUEUE_TIMEOUT = 30.0
+
+#: A message forwarded more times than this is assumed to be looping
+#: (misconfigured forwarding wrappers or routing) and is rejected.
+MAX_HOPS = 32
+
+
+@dataclass(frozen=True)
+class SenderInfo:
+    """What the firewall knows about a message's origin."""
+
+    principal: str
+    host: str
+    uri: Optional[AgentUri] = None
+    authenticated: bool = False
+
+    def local_to(self, host_name: str) -> bool:
+        return self.host == host_name
+
+
+@dataclass
+class Message:
+    """One briefcase in flight."""
+
+    target: AgentUri
+    briefcase: Briefcase
+    sender: SenderInfo
+    queue_timeout: float = DEFAULT_QUEUE_TIMEOUT
+    hops: int = 0
+
+    def with_target(self, target: AgentUri) -> "Message":
+        return replace(self, target=target)
+
+    def snapshot_for_transport(self) -> "Message":
+        """An independent copy whose briefcase is a snapshot."""
+        return Message(target=self.target,
+                       briefcase=self.briefcase.snapshot(),
+                       sender=self.sender,
+                       queue_timeout=self.queue_timeout,
+                       hops=self.hops + 1)
+
+
+@dataclass
+class DeliveryStats:
+    """Firewall-level counters."""
+
+    delivered: int = 0
+    queued: int = 0
+    expired: int = 0
+    rejected: int = 0
+    forwarded_remote: int = 0
+    received_remote: int = 0
+    dropped_by_wrapper: int = 0

@@ -1,0 +1,76 @@
+"""Pending-message queue: parking for messages whose receiver is absent.
+
+Paper section 3.2: *"Messages passing through the firewall are queued
+with a timeout value if the receiving agent is not ready to receive, or
+has not yet arrived at the site."*  The second clause is what makes
+itinerant agents addressable: a message can be sent *ahead* of the agent
+and will be waiting when it lands.
+
+Each queued message carries its own expiry; when an agent registers, the
+firewall offers it every queued message and delivers the matching ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.uri import AgentUri
+from repro.firewall.message import Message
+from repro.sim.eventloop import Kernel
+
+
+@dataclass
+class _Pending:
+    message: Message
+    enqueued_at: float
+    expires_at: float
+    expired: bool = False
+
+
+class PendingQueue:
+    """Messages waiting for a matching registration, with per-message TTL."""
+
+    def __init__(self, kernel: Kernel,
+                 on_expire: Optional[Callable[[Message], None]] = None):
+        self.kernel = kernel
+        self.on_expire = on_expire
+        self._pending: List[_Pending] = []
+        self.expired_count = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def park(self, message: Message) -> None:
+        """Queue a message until a receiver appears or the TTL runs out."""
+        entry = _Pending(
+            message=message,
+            enqueued_at=self.kernel.now,
+            expires_at=self.kernel.now + message.queue_timeout)
+        self._pending.append(entry)
+        self.kernel.spawn(self._expiry_watch(entry),
+                          name=f"queue-ttl:{message.target}")
+
+    def _expiry_watch(self, entry: _Pending):
+        yield self.kernel.timeout(entry.expires_at - self.kernel.now)
+        if entry in self._pending:
+            self._pending.remove(entry)
+            entry.expired = True
+            self.expired_count += 1
+            if self.on_expire is not None:
+                self.on_expire(entry.message)
+
+    def claim(self, accepts: Callable[[AgentUri], bool]) -> List[Message]:
+        """Remove and return all queued messages whose target the new
+        registration ``accepts`` (oldest first)."""
+        claimed, remaining = [], []
+        for entry in self._pending:
+            if accepts(entry.message.target):
+                claimed.append(entry.message)
+            else:
+                remaining.append(entry)
+        self._pending = remaining
+        return claimed
+
+    def peek_targets(self) -> List[AgentUri]:
+        return [entry.message.target for entry in self._pending]

@@ -1,0 +1,118 @@
+"""Access-control policy enforced by the firewall's reference monitor.
+
+The paper requires *"a local authority which enforces access rights,
+based on first level authentication of the origin of the agent"*.  The
+policy answers three questions:
+
+1. May this sender talk to this (local) agent at all?
+2. May this sender perform firewall admin operations (list/kill/stop)?
+3. May an agent arriving from this sender be launched on this VM kind?
+
+Policies are composed of explicit allow/deny rules keyed by principal,
+evaluated deny-first, with configurable defaults.  The default policy is
+what the paper's deployment implies: open messaging inside the system,
+admin restricted to authenticated system/owner principals, and agent
+launch allowed (VMs apply their own payload-level safety on top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.identity import SYSTEM_PRINCIPAL
+from repro.firewall.message import SenderInfo
+from repro.firewall.routing import Registration
+
+OP_SEND = "send"
+OP_ADMIN = "admin"
+OP_LAUNCH = "launch"
+
+ALL_OPS = (OP_SEND, OP_ADMIN, OP_LAUNCH)
+
+
+@dataclass
+class Policy:
+    """Deny-first principal-based access rules."""
+
+    #: principal → ops explicitly denied.
+    denied: dict = field(default_factory=dict)
+    #: principal → ops explicitly allowed (overrides defaults).
+    allowed: dict = field(default_factory=dict)
+    #: Principals treated as site owners (admin-capable).
+    owners: Set[str] = field(default_factory=set)
+    default_send: bool = True
+    default_launch: bool = True
+    #: Require authentication for admin regardless of principal.
+    admin_requires_auth: bool = True
+
+    # -- rule management ----------------------------------------------------------
+
+    def deny(self, principal: str, op: str) -> None:
+        self._check_op(op)
+        self.denied.setdefault(principal, set()).add(op)
+
+    def allow(self, principal: str, op: str) -> None:
+        self._check_op(op)
+        self.allowed.setdefault(principal, set()).add(op)
+
+    def add_owner(self, principal: str) -> None:
+        self.owners.add(principal)
+
+    @staticmethod
+    def _check_op(op: str) -> None:
+        if op not in ALL_OPS:
+            raise ValueError(f"unknown policy op {op!r}")
+
+    def _explicit(self, principal: str, op: str) -> Optional[bool]:
+        if op in self.denied.get(principal, ()):
+            return False
+        if op in self.allowed.get(principal, ()):
+            return True
+        return None
+
+    # -- decisions -----------------------------------------------------------------
+
+    def can_send(self, sender: SenderInfo,
+                 target: Optional[Registration] = None) -> bool:
+        explicit = self._explicit(sender.principal, OP_SEND)
+        if explicit is not None:
+            return explicit
+        if target is not None:
+            # Any principal may always address its own agents; the system
+            # principal may address anything.
+            if sender.principal in (target.principal, SYSTEM_PRINCIPAL):
+                return True
+        return self.default_send
+
+    def can_admin(self, sender: SenderInfo) -> bool:
+        explicit = self._explicit(sender.principal, OP_ADMIN)
+        if explicit is False:
+            return False
+        if self.admin_requires_auth and not sender.authenticated:
+            return False
+        if explicit is True:
+            return True
+        return sender.principal == SYSTEM_PRINCIPAL or \
+            sender.principal in self.owners
+
+    def can_launch(self, sender: SenderInfo, vm_name: str) -> bool:
+        explicit = self._explicit(sender.principal, OP_LAUNCH)
+        if explicit is not None:
+            return explicit
+        return self.default_launch
+
+
+def open_policy() -> Policy:
+    """The permissive intra-experiment policy (paper's own deployment)."""
+    return Policy()
+
+
+def closed_policy(owners: Set[str] = frozenset()) -> Policy:
+    """A locked-down policy: nothing moves unless explicitly allowed."""
+    policy = Policy(default_send=False, default_launch=False)
+    for owner in owners:
+        policy.add_owner(owner)
+        policy.allow(owner, OP_SEND)
+        policy.allow(owner, OP_LAUNCH)
+    return policy

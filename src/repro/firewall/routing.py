@@ -1,0 +1,127 @@
+"""Agent registry and partial-name resolution (paper section 3.2).
+
+Virtual machines register the agents running inside them so the firewall
+can locate them.  Resolution implements the paper's matching rules for
+partially-specified addresses:
+
+- name only → any instance of that name ("useful if one wishes to
+  establish communication with a broader class of agents like service
+  agents");
+- instance only → that exact entity, whatever its name;
+- principal left out → *"only two principals are considered as valid;
+  the local system, or the principal of the mobile agent"* (the sender).
+
+When several registrations match, the oldest wins — deterministic, and
+the natural choice for service classes where any representative will do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import AgentNotFoundError
+from repro.core.identity import SYSTEM_PRINCIPAL, AgentId
+from repro.core.uri import AgentUri
+from repro.firewall.message import Message
+
+
+@dataclass
+class Registration:
+    """One agent known to the local firewall."""
+
+    agent_id: AgentId
+    principal: str
+    vm_name: str
+    deliver_fn: Callable[[Message], bool]
+    start_time: float
+    sequence: int = 0
+    process: Optional[object] = None
+    paused: bool = False
+    meta: Dict[str, str] = field(default_factory=dict)
+    _paused_backlog: List[Message] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.agent_id.name
+
+    @property
+    def instance(self) -> str:
+        return self.agent_id.instance
+
+    def deliver(self, message: Message) -> bool:
+        if self.paused:
+            self._paused_backlog.append(message)
+            return True
+        return self.deliver_fn(message)
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> int:
+        """Un-pause and flush the backlog; returns messages flushed."""
+        self.paused = False
+        backlog, self._paused_backlog = self._paused_backlog, []
+        for message in backlog:
+            self.deliver_fn(message)
+        return len(backlog)
+
+    def uri(self, host: Optional[str] = None) -> AgentUri:
+        return AgentUri(host=host, principal=self.principal,
+                        name=self.name, instance=self.instance)
+
+
+class Registry:
+    """All agents currently registered at one firewall."""
+
+    def __init__(self):
+        self._by_instance: Dict[str, Registration] = {}
+        self._sequence = 0
+
+    def add(self, registration: Registration) -> Registration:
+        key = registration.instance
+        if key in self._by_instance:
+            raise ValueError(f"instance {key!r} already registered")
+        self._sequence += 1
+        registration.sequence = self._sequence
+        self._by_instance[key] = registration
+        return registration
+
+    def remove(self, agent_id: AgentId) -> Optional[Registration]:
+        return self._by_instance.pop(agent_id.instance, None)
+
+    def by_instance(self, instance: str) -> Optional[Registration]:
+        return self._by_instance.get(instance.lower())
+
+    def all(self) -> List[Registration]:
+        return sorted(self._by_instance.values(), key=lambda r: r.sequence)
+
+    def __len__(self) -> int:
+        return len(self._by_instance)
+
+    def matches(self, target: AgentUri,
+                sender_principal: Optional[str]) -> List[Registration]:
+        """Registrations selected by a (possibly partial) local address."""
+        found = []
+        for registration in self.all():
+            if not target.matches_agent(registration.name,
+                                        registration.instance,
+                                        registration.principal):
+                continue
+            if target.principal is None:
+                # The two-valid-principals rule.
+                valid = {SYSTEM_PRINCIPAL}
+                if sender_principal is not None:
+                    valid.add(sender_principal)
+                if registration.principal not in valid:
+                    continue
+            found.append(registration)
+        return found
+
+    def resolve_one(self, target: AgentUri,
+                    sender_principal: Optional[str]) -> Registration:
+        """The single registration a message should go to (oldest match)."""
+        found = self.matches(target, sender_principal)
+        if not found:
+            raise AgentNotFoundError(f"no agent matching {target}")
+        return found[0]

@@ -1,0 +1,36 @@
+"""The web robot (COTS Webbot stand-in) and its surrounding tooling.
+
+- :mod:`repro.robot.webbot` — the self-contained, agent-oblivious robot
+  (this is the code the mobility wrapper ships by value);
+- :mod:`repro.robot.linkcheck` — the wrapper-side second pass over
+  rejected links;
+- :mod:`repro.robot.report` — condensed dead-link reports.
+"""
+
+from repro.robot.checkbot import Checkbot, CheckbotConfig, run_checkbot
+from repro.robot.linkcheck import (
+    CHECKABLE_REASONS,
+    probe_url,
+    validate_rejected,
+)
+from repro.robot.loganalyzer import analyze_log, parse_log_line, \
+    run_log_analysis
+from repro.robot.report import DeadLinkReport, merge_reports
+from repro.robot.webbot import (
+    WEBBOT_VERSION,
+    Webbot,
+    WebbotConfig,
+    extract_links,
+    join_url,
+    parse_robots_txt,
+    run_webbot,
+)
+
+__all__ = [
+    "Checkbot", "CheckbotConfig", "run_checkbot",
+    "analyze_log", "parse_log_line", "run_log_analysis",
+    "CHECKABLE_REASONS", "probe_url", "validate_rejected",
+    "DeadLinkReport", "merge_reports",
+    "WEBBOT_VERSION", "Webbot", "WebbotConfig", "extract_links",
+    "join_url", "parse_robots_txt", "run_webbot",
+]

@@ -1,0 +1,222 @@
+"""Checkbot: a second, independently-written stationary link checker.
+
+The paper's footnote points at a whole catalogue of robots "implemented
+in a wide variety of languages"; the wrapper claim only holds if it
+mobilises *any* of them, not just the one it was built around.  This
+module is therefore a deliberately different robot from
+:mod:`repro.robot.webbot`:
+
+- **breadth-first** traversal (Webbot is depth-first);
+- scoping by an **allowed-hosts list** (Webbot uses a URI prefix);
+- **inline validation** of off-site links with HEAD as they are found
+  (Webbot logs them as rejected for a separate second pass);
+- its own result vocabulary (``checked``/``broken``/``offsite_checked``).
+
+It shares the self-containment contract: stdlib only, duck-typed HTTP
+client, JSON-able result — so the mobility wrapper ships it exactly the
+way it ships the Webbot, unchanged (experiment G1).
+"""
+
+import re
+
+CHECKBOT_VERSION = "repro-checkbot/1.0"
+
+_A_HREF_RE = re.compile(
+    r"""<\s*a\b[^>]*?\bhref\s*=\s*(?:"([^"]*)"|'([^']*)')""",
+    re.IGNORECASE | re.DOTALL)
+
+
+def find_hrefs(html):
+    """Anchor hrefs only (this robot does not chase assets)."""
+    return [m.group(1) or m.group(2) or ""
+            for m in _A_HREF_RE.finditer(html)]
+
+
+def absolutize(base, reference):
+    """Resolve a reference against a base URL; None for non-http."""
+    reference = reference.split("#", 1)[0].strip()
+    if not reference:
+        return None
+    lowered = reference.lower()
+    if lowered.startswith("http://"):
+        rest = reference[len("http://"):]
+        netloc, slash, path = rest.partition("/")
+        if not netloc:
+            return None
+        return "http://" + netloc.lower() + _clean("/" + path if slash
+                                                   else "/")
+    if "://" in reference or lowered.startswith("mailto:"):
+        return None
+    if not base.lower().startswith("http://"):
+        return None
+    rest = base[len("http://"):]
+    netloc, _slash, base_path = rest.partition("/")
+    base_path = "/" + base_path
+    if reference.startswith("/"):
+        return "http://" + netloc.lower() + _clean(reference)
+    directory = base_path.rsplit("/", 1)[0] + "/"
+    return "http://" + netloc.lower() + _clean(directory + reference)
+
+
+def _clean(path):
+    segments = []
+    for segment in path.split("/"):
+        if segment in ("", "."):
+            continue
+        if segment == "..":
+            if segments:
+                segments.pop()
+            continue
+        segments.append(segment)
+    cleaned = "/" + "/".join(segments)
+    if path.endswith("/") and cleaned != "/":
+        cleaned += "/"
+    return cleaned
+
+
+def host_of(url):
+    if not url.lower().startswith("http://"):
+        return None
+    return url[len("http://"):].partition("/")[0].lower()
+
+
+class CheckbotConfig:
+    """This robot's own configuration vocabulary."""
+
+    def __init__(self, start_urls, allowed_hosts=None, max_pages=None,
+                 max_redirects=5):
+        if not start_urls:
+            raise ValueError("checkbot needs at least one start URL")
+        self.start_urls = list(start_urls)
+        if allowed_hosts is None:
+            allowed_hosts = sorted({host_of(u) for u in start_urls
+                                    if host_of(u)})
+        self.allowed_hosts = [h.lower() for h in allowed_hosts]
+        self.max_pages = max_pages
+        self.max_redirects = max_redirects
+
+    @classmethod
+    def from_dict(cls, args):
+        return cls(start_urls=args["start_urls"],
+                   allowed_hosts=args.get("allowed_hosts"),
+                   max_pages=args.get("max_pages"),
+                   max_redirects=args.get("max_redirects", 5))
+
+
+class Checkbot:
+    """Breadth-first crawler with inline off-site validation."""
+
+    def __init__(self, config, http):
+        self.config = config
+        self.http = http
+        self.checked = 0
+        self.ok_count = 0
+        self.bytes_fetched = 0
+        self.broken = []            # {"href", "parent", "code"}
+        self.offsite_checked = 0
+        self.seen = set()
+        self._offsite_cache = {}    # url -> (code, alive)
+
+    def _on_site(self, url):
+        return host_of(url) in self.config.allowed_hosts
+
+    def _head_follow(self, url):
+        """HEAD with absolute-location redirect following."""
+        if url in self._offsite_cache:
+            return self._offsite_cache[url]
+        current = url
+        chain = {url}
+        code, alive = 0, False
+        for _ in range(self.config.max_redirects + 1):
+            response = self.http.head(current)
+            code = getattr(response, "status", 0)
+            location = getattr(response, "location", None)
+            if code in (301, 302) and location and location not in chain:
+                chain.add(location)
+                current = location
+                continue
+            alive = bool(getattr(response, "ok", False))
+            break
+        self._offsite_cache[url] = (code, alive)
+        return code, alive
+
+    def _get_follow(self, url):
+        """GET following redirects; returns (final response, code)."""
+        current = url
+        chain = {url}
+        response = self.http.get(current)
+        for _ in range(self.config.max_redirects):
+            code = getattr(response, "status", 0)
+            location = getattr(response, "location", None)
+            if code in (301, 302) and location and location not in chain:
+                chain.add(location)
+                current = location
+                response = self.http.get(current)
+                continue
+            break
+        return response, current
+
+    def run(self):
+        queue = list(self.config.start_urls)
+        for url in queue:
+            self.seen.add(url)
+        parents = {url: "<start>" for url in queue}
+        index = 0
+        while index < len(queue):
+            url = queue[index]
+            index += 1
+            if self.config.max_pages is not None and \
+                    self.checked >= self.config.max_pages:
+                break
+            response, final_url = self._get_follow(url)
+            code = getattr(response, "status", 0)
+            self.checked += 1
+            if not getattr(response, "ok", False):
+                self.broken.append({"href": url,
+                                    "parent": parents.get(url, "<start>"),
+                                    "code": code})
+                continue
+            self.ok_count += 1
+            body = getattr(response, "body", "") or ""
+            self.bytes_fetched += len(body.encode("utf-8"))
+            content_type = getattr(response, "content_type", "text/html")
+            if not (content_type or "").startswith("text/html"):
+                continue
+            for raw in find_hrefs(body):
+                child = absolutize(final_url, raw)
+                if child is None:
+                    continue
+                if self._on_site(child):
+                    if child not in self.seen:
+                        self.seen.add(child)
+                        parents[child] = url
+                        queue.append(child)
+                else:
+                    # Off-site: validate inline, never crawl.
+                    self.offsite_checked += 1
+                    off_code, alive = self._head_follow(child)
+                    if not alive:
+                        record = {"href": child, "parent": url,
+                                  "code": off_code}
+                        if record not in self.broken:
+                            self.broken.append(record)
+        return self.result()
+
+    def result(self):
+        return {
+            "version": CHECKBOT_VERSION,
+            "start_urls": list(self.config.start_urls),
+            "allowed_hosts": list(self.config.allowed_hosts),
+            "checked": self.checked,
+            "ok": self.ok_count,
+            "bytes_fetched": self.bytes_fetched,
+            "offsite_checked": self.offsite_checked,
+            "broken": list(self.broken),
+        }
+
+
+def run_checkbot(args, env):
+    """Binary-style entry point (same contract as the Webbot's)."""
+    config = CheckbotConfig.from_dict(args)
+    robot = Checkbot(config, env.http)
+    return robot.run()

@@ -1,0 +1,73 @@
+"""Second-pass link validation.
+
+The paper's mwWebbot wrapper *"examines the URIs logged as rejected by
+Webbot, and looks these URIs [up] in a separate step.  It then combines
+the URIs not found to be valid with the invalid URIs logged by Webbot."*
+
+This module is that separate step: given Webbot's rejected-link records,
+probe each distinct URL once (HEAD — validity needs no body) and report
+the broken ones.  Unlike :mod:`repro.robot.webbot` this is *our* code
+(part of the mobile agent), not the COTS program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+#: Rejection reasons worth re-validating.  Scheme-rejected references
+#: (mailto: etc.) cannot be checked over HTTP, and robots-rejected URLs
+#: must not be probed at all (that would defeat the compliance).
+CHECKABLE_REASONS = ("prefix", "depth", "page-limit")
+
+#: Redirect chain length tolerated while probing.
+MAX_PROBE_REDIRECTS = 5
+
+
+def probe_url(url: str, http) -> "tuple[int, bool]":
+    """HEAD a URL, following absolute redirects; returns (status, alive)."""
+    current = url
+    seen = {url}
+    last_status = 0
+    for _ in range(MAX_PROBE_REDIRECTS + 1):
+        response = http.head(current)
+        last_status = getattr(response, "status", 0)
+        location = getattr(response, "location", None)
+        if last_status in (301, 302) and location:
+            if location in seen:
+                return last_status, False  # redirect loop
+            seen.add(location)
+            current = location
+            continue
+        return last_status, bool(getattr(response, "ok", False))
+    return last_status, False  # chain too long
+
+
+def validate_rejected(rejected: Iterable[Dict], http,
+                      reasons: Iterable[str] = CHECKABLE_REASONS
+                      ) -> List[Dict]:
+    """Probe rejected links; return records for the invalid ones.
+
+    Each returned record mirrors Webbot's invalid-link records:
+    ``{"url", "referrer", "reason": "http", "status"}``.  A URL referred
+    to from several pages is probed once but reported per referrer, so
+    every broken reference can be fixed at its source.
+    """
+    reasons = set(reasons)
+    by_url: Dict[str, List[Dict]] = {}
+    for record in rejected:
+        if record.get("reason") in reasons:
+            by_url.setdefault(record["url"], []).append(record)
+
+    invalid: List[Dict] = []
+    for url, records in by_url.items():
+        status, alive = probe_url(url, http)
+        if alive:
+            continue
+        for record in records:
+            invalid.append({
+                "url": url,
+                "referrer": record.get("referrer", "<unknown>"),
+                "reason": "http",
+                "status": status,
+            })
+    return invalid

@@ -1,0 +1,108 @@
+"""A stationary access-log analyzer (a second non-mobile mining program).
+
+The paper claims the wrapper approach works for "a general class of
+stationary data mining applications that need to be close to their data
+source" — not just link-checking robots.  This module is a second such
+application with a completely different shape: it downloads a web
+server's access log (Common Log Format) and aggregates it into a small
+statistics record.  The condensation ratio is extreme — megabytes of
+log lines reduce to a few hundred bytes of aggregates — which is the
+best case for the paper's move-the-computation argument (experiment D1).
+
+Like :mod:`repro.robot.webbot`, this module is deliberately
+self-contained (stdlib only, duck-typed HTTP client via ``env.http``),
+so the mobility wrapper can ship its source by value, unchanged.
+"""
+
+LOGANALYZER_VERSION = "repro-loganalyzer/1.0"
+
+
+def parse_log_line(line):
+    """One Common Log Format line -> dict, or None if malformed.
+
+    Format: ``host ident user [timestamp] "METHOD path HTTP/1.0" status
+    bytes``.
+    """
+    try:
+        head, _bracket, rest = line.partition("[")
+        host = head.split()[0]
+        timestamp, _close, rest = rest.partition("] ")
+        if not rest.startswith('"'):
+            return None
+        request, _quote, tail = rest[1:].partition('" ')
+        parts = request.split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0], parts[1]
+        tail_parts = tail.split()
+        status = int(tail_parts[0])
+        size = 0 if tail_parts[1] == "-" else int(tail_parts[1])
+        return {"host": host, "time": timestamp, "method": method,
+                "path": path, "status": status, "bytes": size}
+    except (IndexError, ValueError):
+        return None
+
+
+def analyze_log(text, top_k=10):
+    """Aggregate a whole log into a compact statistics dict."""
+    hits = 0
+    malformed = 0
+    bytes_served = 0
+    status_counts = {}
+    page_hits = {}
+    visitors = set()
+    error_paths = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = parse_log_line(line)
+        if record is None:
+            malformed += 1
+            continue
+        hits += 1
+        bytes_served += record["bytes"]
+        status = str(record["status"])
+        status_counts[status] = status_counts.get(status, 0) + 1
+        page_hits[record["path"]] = page_hits.get(record["path"], 0) + 1
+        visitors.add(record["host"])
+        if record["status"] >= 400:
+            error_paths[record["path"]] = \
+                error_paths.get(record["path"], 0) + 1
+
+    def top(counter):
+        # Lists, not tuples: results must be identical after a JSON
+        # round trip through a briefcase.
+        ranked = sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [[path, count] for path, count in ranked[:top_k]]
+
+    return {
+        "version": LOGANALYZER_VERSION,
+        "hits": hits,
+        "malformed": malformed,
+        "bytes_served": bytes_served,
+        "unique_visitors": len(visitors),
+        "status_counts": status_counts,
+        "top_pages": top(page_hits),
+        "top_error_paths": top(error_paths),
+    }
+
+
+def run_log_analysis(args, env):
+    """Binary-style entry point: fetch the log over HTTP and mine it.
+
+    ``args``: ``{"log_url": ..., "top_k": 10}``.  When the program runs
+    at the server itself the fetch crosses only the loopback link; when
+    it runs at the client the whole log crosses the network — exactly
+    the contrast of the Webbot experiment, with a far bigger
+    condensation ratio.
+    """
+    response = env.http.get(args["log_url"])
+    if not getattr(response, "ok", False):
+        raise ValueError(
+            f"could not fetch log {args['log_url']}: "
+            f"status {getattr(response, 'status', 0)}")
+    body = getattr(response, "body", "") or ""
+    result = analyze_log(body, top_k=args.get("top_k", 10))
+    result["log_url"] = args["log_url"]
+    result["log_bytes"] = len(body.encode("utf-8"))
+    return result

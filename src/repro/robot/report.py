@@ -1,0 +1,126 @@
+"""Dead-link reports: the condensed mining result shipped home.
+
+The mobile agent's payoff is that only this report — not the 3 MB of
+pages — crosses the network.  The report merges Webbot's own invalid-link
+records with the second-pass results and renders the *"resulting list of
+invalid URIs and the referring pages"* the paper describes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class DeadLinkReport:
+    """Merged dead-link findings for one crawled site."""
+
+    site: str
+    pages_scanned: int = 0
+    bytes_scanned: int = 0
+    links_seen: int = 0
+    invalid: List[Dict] = field(default_factory=list)
+    rejected_checked: int = 0
+
+    @classmethod
+    def from_webbot_result(cls, site: str, result: Dict,
+                           second_pass_invalid: Optional[Iterable[Dict]] = None
+                           ) -> "DeadLinkReport":
+        """Combine a Webbot result dict with second-pass findings."""
+        report = cls(
+            site=site,
+            pages_scanned=result.get("pages_scanned", 0),
+            bytes_scanned=result.get("bytes_scanned", 0),
+            links_seen=result.get("links_seen", 0),
+            invalid=list(result.get("invalid", ())),
+        )
+        if second_pass_invalid is not None:
+            extras = list(second_pass_invalid)
+            report.invalid.extend(extras)
+            report.rejected_checked = len(extras)
+        report._dedupe()
+        return report
+
+    def _dedupe(self) -> None:
+        seen = set()
+        unique = []
+        for record in self.invalid:
+            key = (record.get("url"), record.get("referrer"))
+            if key not in seen:
+                seen.add(key)
+                unique.append(record)
+        self.invalid = unique
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def dead_count(self) -> int:
+        return len(self.invalid)
+
+    def dead_urls(self) -> List[str]:
+        return sorted({record["url"] for record in self.invalid})
+
+    def by_referrer(self) -> Dict[str, List[str]]:
+        """referring page → broken URLs on it (the fix-it worklist)."""
+        grouped: Dict[str, List[str]] = {}
+        for record in self.invalid:
+            grouped.setdefault(
+                record.get("referrer", "<unknown>"), []).append(record["url"])
+        return {ref: sorted(urls) for ref, urls in sorted(grouped.items())}
+
+    # -- serialisation (briefcase payload) -------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "site": self.site,
+            "pages_scanned": self.pages_scanned,
+            "bytes_scanned": self.bytes_scanned,
+            "links_seen": self.links_seen,
+            "rejected_checked": self.rejected_checked,
+            "invalid": self.invalid,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeadLinkReport":
+        data = json.loads(text)
+        report = cls(
+            site=data["site"],
+            pages_scanned=data["pages_scanned"],
+            bytes_scanned=data["bytes_scanned"],
+            links_seen=data["links_seen"],
+            invalid=list(data["invalid"]),
+            rejected_checked=data.get("rejected_checked", 0),
+        )
+        return report
+
+    def render_text(self) -> str:
+        """The human-readable audit report."""
+        lines = [
+            f"Dead-link report for {self.site}",
+            f"  pages scanned : {self.pages_scanned}",
+            f"  bytes scanned : {self.bytes_scanned}",
+            f"  links seen    : {self.links_seen}",
+            f"  broken refs   : {self.dead_count}",
+            "",
+        ]
+        for referrer, dead in self.by_referrer().items():
+            lines.append(f"  {referrer}")
+            for url in dead:
+                lines.append(f"    -> {url}")
+        return "\n".join(lines)
+
+
+def merge_reports(reports: Iterable[DeadLinkReport],
+                  site: str = "<multiple>") -> DeadLinkReport:
+    """Fold per-host reports from an itinerant audit into one."""
+    merged = DeadLinkReport(site=site)
+    for report in reports:
+        merged.pages_scanned += report.pages_scanned
+        merged.bytes_scanned += report.bytes_scanned
+        merged.links_seen += report.links_seen
+        merged.rejected_checked += report.rejected_checked
+        merged.invalid.extend(report.invalid)
+    merged._dedupe()
+    return merged

@@ -1,0 +1,368 @@
+"""Webbot: a stationary, non-mobile web robot (W3C Webbot stand-in).
+
+This module plays the role of the paper's COTS software: *"Webbot is one
+such robot from the W3C organization ... implemented in C and can be used
+to gather statistics on web pages such as link validity, age, and type of
+web pages encountered.  Webbot gathers these statistics by following
+links in depth first manner, subjected to certain constraints"* — a
+maximum search-tree depth and a URI prefix restriction.
+
+Faithfulness requirements, and how they are met:
+
+- **Non-mobile and agent-oblivious.**  This module knows nothing about
+  briefcases, firewalls, agents, or the simulator.  Its one dependency is
+  a duck-typed HTTP client (anything with ``get(url)``/``head(url)``
+  returning an object with ``status``/``body``/``ok``).  Both the
+  stationary baseline and the mobile wrapper run *this exact code*.
+- **Self-contained.**  The original Webbot was a single C binary carrying
+  its own URI library (libwww).  Likewise this module imports only the
+  standard library and contains its own URL joining and link extraction,
+  so the mobility wrapper can ship the module's *source text* by value —
+  the Python analogue of carrying the binary in the briefcase.
+- **Rejected-link logging.**  Links not followed because of the prefix or
+  depth constraint are logged with a reason, because the paper's
+  mwWebbot wrapper validates exactly those in its second pass.
+- **Plain-data results.**  The result is a JSON-able dict, so it crosses
+  briefcase/host boundaries without shared classes.
+
+(The paper notes the real Webbot "became unstable with a search tree
+deeper than 4"; this clone is stable, but experiments honour the same
+depth-4 constraint for workload fidelity.)
+"""
+
+import re
+
+WEBBOT_VERSION = "repro-webbot/1.0"
+
+# -- Webbot's private URL handling (its "libwww") ----------------------------------
+
+
+def _strip_fragment(url):
+    return url.split("#", 1)[0]
+
+
+def _normalize_path(path):
+    if not path.startswith("/"):
+        path = "/" + path
+    segments = []
+    for segment in path.split("/"):
+        if segment in ("", "."):
+            continue
+        if segment == "..":
+            if segments:
+                segments.pop()
+            continue
+        segments.append(segment)
+    normalized = "/" + "/".join(segments)
+    if path.endswith("/") and normalized != "/":
+        normalized += "/"
+    return normalized
+
+
+def _split_http(url):
+    """('host[:port]', '/path') for an absolute http URL, else None."""
+    if not url.lower().startswith("http://"):
+        return None
+    rest = url[len("http://"):]
+    netloc, slash, path = rest.partition("/")
+    if not netloc:
+        return None
+    return netloc.lower(), _normalize_path("/" + path if slash else "/")
+
+
+def join_url(base, reference):
+    """Resolve a (possibly relative) href against an absolute base URL.
+
+    Returns the normalised absolute URL, or None for non-http schemes
+    (mailto:, ftp:, ...).
+    """
+    reference = _strip_fragment(reference.strip())
+    if not reference:
+        return None
+    lowered = reference.lower()
+    if "://" in reference or lowered.startswith("mailto:"):
+        parts = _split_http(reference)
+        if parts is None:
+            return None
+        netloc, path = parts
+        return "http://" + netloc + path
+    base_parts = _split_http(base)
+    if base_parts is None:
+        return None
+    netloc, base_path = base_parts
+    if reference.startswith("/"):
+        return "http://" + netloc + _normalize_path(reference)
+    directory = base_path.rsplit("/", 1)[0] + "/"
+    return "http://" + netloc + _normalize_path(directory + reference)
+
+
+_HREF_RE = re.compile(
+    r"""<\s*(?:a|link|area)\b[^>]*?\bhref\s*=\s*(?:"([^"]*)"|'([^']*)')""",
+    re.IGNORECASE | re.DOTALL)
+_SRC_RE = re.compile(
+    r"""<\s*(?:img|frame|script)\b[^>]*?\bsrc\s*=\s*(?:"([^"]*)"|'([^']*)')""",
+    re.IGNORECASE | re.DOTALL)
+
+
+def extract_links(html):
+    """All href/src references in document order (raw, un-joined)."""
+    links = []
+    for regex in (_HREF_RE, _SRC_RE):
+        for match in regex.finditer(html):
+            links.append(match.group(1) or match.group(2) or "")
+    return links
+
+
+# -- configuration and result records ----------------------------------------------
+
+REASON_PREFIX = "prefix"
+REASON_DEPTH = "depth"
+REASON_SCHEME = "scheme"
+REASON_PAGE_LIMIT = "page-limit"
+REASON_ROBOTS = "robots"
+REASON_REDIRECT_LIMIT = "redirect-limit"
+
+STATUS_CONNECT_FAILED = 0
+
+
+def parse_robots_txt(text):
+    """Disallow prefixes for User-agent ``*`` (the 1994 robots format)."""
+    disallows = []
+    applies = False
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        field, _colon, value = line.partition(":")
+        field = field.strip().lower()
+        value = value.strip()
+        if field == "user-agent":
+            applies = value == "*"
+        elif field == "disallow" and applies and value:
+            disallows.append(value)
+    return disallows
+
+
+class WebbotConfig:
+    """Crawl constraints, mirroring the real Webbot's flags."""
+
+    def __init__(self, start_url, prefix=None, max_depth=4,
+                 max_pages=None, honor_robots=True, max_redirects=5):
+        if _split_http(start_url) is None:
+            raise ValueError("start_url must be an absolute http URL")
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if max_redirects < 0:
+            raise ValueError("max_redirects must be non-negative")
+        self.start_url = start_url
+        self.prefix = prefix
+        self.max_depth = max_depth
+        self.max_pages = max_pages
+        self.honor_robots = honor_robots
+        self.max_redirects = max_redirects
+
+    @classmethod
+    def from_dict(cls, args):
+        return cls(start_url=args["start_url"],
+                   prefix=args.get("prefix"),
+                   max_depth=args.get("max_depth", 4),
+                   max_pages=args.get("max_pages"),
+                   honor_robots=args.get("honor_robots", True),
+                   max_redirects=args.get("max_redirects", 5))
+
+
+def _link_record(url, referrer, reason, status=None):
+    record = {"url": url, "referrer": referrer, "reason": reason}
+    if status is not None:
+        record["status"] = status
+    return record
+
+
+class Webbot:
+    """Depth-first crawler with prefix/depth constraints."""
+
+    def __init__(self, config, http):
+        self.config = config
+        self.http = http
+        self.pages_scanned = 0
+        self.bytes_scanned = 0
+        self.links_seen = 0
+        self.max_depth_seen = 0
+        self.invalid = []          # followed but broken (404 / no connect)
+        self.rejected = []         # not followed because of a constraint
+        self.visited = set()
+        self.status_counts = {}
+        self.redirects_followed = 0
+        self.content_type_counts = {}
+        self._age_samples = []
+        self._robots_cache = {}    # netloc -> list of disallow prefixes
+
+    # -- constraint checks ------------------------------------------------------------
+
+    def _constraint_reason(self, url, depth):
+        if self.config.prefix is not None and \
+                not url.startswith(self.config.prefix):
+            return REASON_PREFIX
+        if depth > self.config.max_depth:
+            return REASON_DEPTH
+        if self.config.max_pages is not None and \
+                self.pages_scanned >= self.config.max_pages:
+            return REASON_PAGE_LIMIT
+        return None
+
+    # -- robots.txt compliance ----------------------------------------------------------
+
+    def _robots_disallows(self, netloc):
+        if netloc not in self._robots_cache:
+            response = self.http.get("http://" + netloc + "/robots.txt")
+            if getattr(response, "ok", False):
+                self._robots_cache[netloc] = parse_robots_txt(
+                    getattr(response, "body", "") or "")
+            else:
+                self._robots_cache[netloc] = []
+        return self._robots_cache[netloc]
+
+    def _robots_blocked(self, url):
+        if not self.config.honor_robots:
+            return False
+        parts = _split_http(url)
+        if parts is None:
+            return False
+        netloc, path = parts
+        return any(path.startswith(prefix)
+                   for prefix in self._robots_disallows(netloc))
+
+    # -- fetching (with redirect following) ----------------------------------------------
+
+    def _fetch(self, url, referrer):
+        """GET with redirect following; returns (response, final_url).
+
+        A ``(None, url)`` return means the chain ended in a rejection
+        that has already been logged (constraint or redirect limit).
+        """
+        current = url
+        response = self.http.get(current)
+        hops = 0
+        while True:
+            status = getattr(response, "status", STATUS_CONNECT_FAILED)
+            self.status_counts[str(status)] = \
+                self.status_counts.get(str(status), 0) + 1
+            location = getattr(response, "location", None)
+            if status not in (301, 302) or not location:
+                return response, current
+            hops += 1
+            if hops > self.config.max_redirects:
+                self.invalid.append(_link_record(
+                    url, referrer, REASON_REDIRECT_LIMIT, status=status))
+                return None, current
+            target = join_url(current, location)
+            if target is None or target in self.visited:
+                return None, current  # non-http, loop, or already crawled
+            reason = self._constraint_reason(target, 0)
+            if reason == REASON_PREFIX:
+                # The redirect leaves the crawl space: log it the way an
+                # off-prefix link would be logged, but do not crawl on.
+                self.rejected.append(
+                    _link_record(target, current, REASON_PREFIX))
+                return None, current
+            if self._robots_blocked(target):
+                # Compliance survives indirection: a redirect into a
+                # disallowed area must not be followed either.
+                self.rejected.append(
+                    _link_record(target, current, REASON_ROBOTS))
+                return None, current
+            self.visited.add(target)
+            self.redirects_followed += 1
+            current = target
+            response = self.http.get(current)
+
+    # -- the crawl ----------------------------------------------------------------------
+
+    def run(self):
+        """Crawl depth-first from the start URL; returns the result dict."""
+        start = join_url(self.config.start_url, "")
+        if start is None:
+            start = self.config.start_url
+        stack = [(start, 0, "<start>")]
+        while stack:
+            url, depth, referrer = stack.pop()
+            if url in self.visited:
+                continue
+            reason = self._constraint_reason(url, depth)
+            if reason is not None:
+                self.rejected.append(_link_record(url, referrer, reason))
+                continue
+            if self._robots_blocked(url):
+                self.rejected.append(
+                    _link_record(url, referrer, REASON_ROBOTS))
+                continue
+            self.visited.add(url)
+            response, final_url = self._fetch(url, referrer)
+            if response is None:
+                continue
+            status = getattr(response, "status", STATUS_CONNECT_FAILED)
+            if not getattr(response, "ok", False):
+                self.invalid.append(
+                    _link_record(url, referrer, "http", status=status))
+                continue
+            body = getattr(response, "body", "") or ""
+            self.pages_scanned += 1
+            self.bytes_scanned += len(body.encode("utf-8"))
+            self.max_depth_seen = max(self.max_depth_seen, depth)
+            content_type = getattr(response, "content_type", "text/html") \
+                or "unknown"
+            self.content_type_counts[content_type] = \
+                self.content_type_counts.get(content_type, 0) + 1
+            age = getattr(response, "age_days", None)
+            if age is not None:
+                self._age_samples.append(age)
+            if not content_type.startswith("text/html"):
+                continue  # assets are counted and typed, never parsed
+            children = []
+            for raw in extract_links(body):
+                self.links_seen += 1
+                child = join_url(final_url, raw)
+                if child is None:
+                    self.rejected.append(
+                        _link_record(raw, url, REASON_SCHEME))
+                    continue
+                if child not in self.visited:
+                    children.append((child, depth + 1, url))
+            # Reversed push keeps document order on a LIFO stack.
+            stack.extend(reversed(children))
+        return self.result()
+
+    def result(self):
+        """The crawl statistics as a plain JSON-able dict."""
+        return {
+            "version": WEBBOT_VERSION,
+            "start_url": self.config.start_url,
+            "prefix": self.config.prefix,
+            "max_depth": self.config.max_depth,
+            "pages_scanned": self.pages_scanned,
+            "bytes_scanned": self.bytes_scanned,
+            "links_seen": self.links_seen,
+            "max_depth_seen": self.max_depth_seen,
+            "redirects_followed": self.redirects_followed,
+            "status_counts": dict(self.status_counts),
+            "content_types": dict(self.content_type_counts),
+            "age_days": {
+                "min": min(self._age_samples),
+                "max": max(self._age_samples),
+                "mean": sum(self._age_samples) / len(self._age_samples),
+            } if self._age_samples else None,
+            "invalid": list(self.invalid),
+            "rejected": list(self.rejected),
+        }
+
+
+def run_webbot(args, env):
+    """Binary-style entry point: ``args`` is a plain dict, ``env`` provides
+    the execution environment (must expose ``env.http``).
+
+    This is the function the mobility wrapper invokes through ``ag_exec``,
+    playing the role of ``main(argc, argv)`` in the real C binary.
+    """
+    config = WebbotConfig.from_dict(args)
+    robot = Webbot(config, env.http)
+    return robot.run()

@@ -1,0 +1,15 @@
+"""Standard service agents installed at every TAX landing pad."""
+
+from repro.services.ag_cabinet import AgCabinet
+from repro.services.ag_cc import AgCc
+from repro.services.ag_cron import AgCron
+from repro.services.ag_exec import AgExec, ExecEnv
+from repro.services.ag_fs import AgFs
+from repro.services.ag_locator import AgLocator
+from repro.services.base import ServiceAgent
+from repro.services.vfs import VirtualFS
+
+__all__ = [
+    "AgCabinet", "AgCc", "AgCron", "AgExec", "ExecEnv", "AgFs",
+    "AgLocator", "ServiceAgent", "VirtualFS",
+]

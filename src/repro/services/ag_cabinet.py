@@ -1,0 +1,77 @@
+"""ag_cabinet: persistent, per-principal folder storage (ag_ccabinet).
+
+A cabinet lets an itinerant agent leave state at a site and pick it up
+on a later visit (or let a successor instance pick it up) — persistence
+across agent lifetimes, namespaced by principal so agents cannot read
+each other's drawers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import ServiceError
+from repro.core import wellknown
+from repro.firewall.message import Message
+from repro.services.base import ServiceAgent
+
+#: CPU per cabinet op.
+CABINET_OP_SECONDS = 0.0003
+
+
+class AgCabinet(ServiceAgent):
+    """The persistent-state service."""
+
+    name = "ag_cabinet"
+
+    def __init__(self, node):
+        super().__init__(node)
+        #: (principal, drawer) → stored briefcase snapshot.
+        self._drawers: Dict[Tuple[str, str], Briefcase] = {}
+
+    def _key(self, message: Message) -> Tuple[str, str]:
+        drawer = message.briefcase.get_text("DRAWER")
+        if not drawer:
+            raise ServiceError("cabinet request needs a DRAWER folder")
+        return (message.sender.principal, drawer)
+
+    def op_put(self, message: Message):
+        """Store every non-system folder of the request under the drawer."""
+        key = self._key(message)
+        yield from self.node.host.compute(CABINET_OP_SECONDS)
+        stored = Briefcase()
+        # System folders (CODE, WRAPPERS, ...) are stored too: checkpoints
+        # must be relaunchable briefcases.
+        skip = {wellknown.OP, wellknown.REPLY_TO, wellknown.MEET_TOKEN,
+                wellknown.STATUS, "DRAWER"}
+        for folder in message.briefcase.snapshot():
+            if folder.name not in skip:
+                stored.folder(folder.name).push_all(folder)
+        self._drawers[key] = stored
+        return Briefcase()
+
+    def op_get(self, message: Message):
+        key = self._key(message)
+        yield from self.node.host.compute(CABINET_OP_SECONDS)
+        stored = self._drawers.get(key)
+        if stored is None:
+            raise ServiceError(f"no drawer {key[1]!r} for {key[0]!r}")
+        response = stored.snapshot()
+        return response
+
+    def op_drop(self, message: Message):
+        key = self._key(message)
+        yield from self.node.host.compute(CABINET_OP_SECONDS)
+        existed = self._drawers.pop(key, None) is not None
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"dropped": existed})
+        return response
+
+    def op_list(self, message: Message):
+        principal = message.sender.principal
+        yield from self.node.host.compute(CABINET_OP_SECONDS)
+        drawers = sorted(d for (p, d) in self._drawers if p == principal)
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"drawers": drawers})
+        return response

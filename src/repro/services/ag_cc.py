@@ -1,0 +1,41 @@
+"""ag_cc: the compilation service of the Figure-3 activation chain.
+
+ag_cc itself does not compile anything: it *"extracts the code and then
+activates ag_exec with the code and the compiler as arguments.  Ag_exec
+runs the compiler and stores the binary in the briefcase received from
+ag_cc, and returns it"*.  Keeping the compiler behind ag_exec is the
+paper's division of labour — ag_cc knows the pipeline, ag_exec owns
+program execution.
+"""
+
+from __future__ import annotations
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import ServiceError
+from repro.firewall.message import Message
+from repro.services.base import ServiceAgent
+from repro.vm import loader
+
+
+class AgCc(ServiceAgent):
+    """Source → binary, via ag_exec's installed compiler tool."""
+
+    name = "ag_cc"
+
+    #: Which ag_exec tool acts as "the compiler".
+    compiler_tool = "cc"
+
+    def op_compile(self, message: Message):
+        payload = loader.read_payload(message.briefcase)
+        if payload.kind != loader.KIND_SOURCE:
+            raise ServiceError(
+                f"ag_cc compiles py-source payloads, got {payload.kind!r}")
+        request = Briefcase()
+        request.put("TOOL", self.compiler_tool)
+        loader.install_payload(request, payload)
+        response = yield from self.ctx.call_service("ag_exec", "tool",
+                                                    request)
+        compiled = loader.read_payload(response)
+        reply = Briefcase()
+        loader.install_payload(reply, compiled)
+        return reply

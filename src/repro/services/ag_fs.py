@@ -1,0 +1,86 @@
+"""ag_fs: mediated access to the host's (virtual) filesystem.
+
+Paper section 3.3: *"to gain access to the file-system, a mobile agent
+interacts with the ag_fs or ag_ccabinet service agents"* — agents never
+get a raw filesystem capability; every access is a request the service
+can check and account.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import ServiceError
+from repro.core import wellknown
+from repro.firewall.message import Message
+from repro.services.base import ServiceAgent
+
+#: CPU per filesystem op.
+FS_OP_SECONDS = 0.0005
+
+
+class AgFs(ServiceAgent):
+    """The filesystem service."""
+
+    name = "ag_fs"
+
+    def _args(self, message: Message) -> dict:
+        args = message.briefcase.get_json(wellknown.ARGS)
+        if not isinstance(args, dict) or "path" not in args:
+            raise ServiceError("ag_fs request needs ARGS with a 'path'")
+        return args
+
+    def _guard_owner(self, message: Message, path: str) -> None:
+        """Only the owner (or system) may modify an existing file."""
+        owner = self.node.vfs.owner_of(path)
+        sender = message.sender.principal
+        if owner is not None and sender not in (owner, "system"):
+            raise ServiceError(
+                f"{sender!r} may not modify {path!r} owned by {owner!r}")
+
+    def op_write(self, message: Message):
+        args = self._args(message)
+        try:
+            data = base64.b64decode(args.get("data_b64", ""))
+        except ValueError as exc:
+            raise ServiceError("bad data_b64") from exc
+        self._guard_owner(message, args["path"])
+        yield from self.node.host.compute(FS_OP_SECONDS)
+        self.node.vfs.write(args["path"], data,
+                            owner=message.sender.principal)
+        return Briefcase()
+
+    def op_read(self, message: Message):
+        args = self._args(message)
+        yield from self.node.host.compute(FS_OP_SECONDS)
+        data = self.node.vfs.read(args["path"])
+        response = Briefcase()
+        response.put(wellknown.RESULTS,
+                     {"path": args["path"],
+                      "data_b64": base64.b64encode(data).decode("ascii")})
+        return response
+
+    def op_delete(self, message: Message):
+        args = self._args(message)
+        self._guard_owner(message, args["path"])
+        yield from self.node.host.compute(FS_OP_SECONDS)
+        existed = self.node.vfs.delete(args["path"])
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"deleted": existed})
+        return response
+
+    def op_list(self, message: Message):
+        args = message.briefcase.get_json(wellknown.ARGS, {"path": "/"})
+        yield from self.node.host.compute(FS_OP_SECONDS)
+        paths = self.node.vfs.listdir(args.get("path", "/"))
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"paths": paths})
+        return response
+
+    def op_stat(self, message: Message):
+        args = self._args(message)
+        yield from self.node.host.compute(FS_OP_SECONDS)
+        response = Briefcase()
+        response.put(wellknown.RESULTS, self.node.vfs.stat(args["path"]))
+        return response

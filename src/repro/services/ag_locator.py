@@ -1,0 +1,83 @@
+"""ag_locator: the home registry behind location-transparent naming.
+
+Maps logical names to current agent URIs.  Updates are accepted from the
+name's current owner principal only (first registration claims the
+name), so one principal's agents cannot hijack another's logical names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import ServiceError
+from repro.core import wellknown
+from repro.firewall.message import Message
+from repro.services.base import ServiceAgent
+
+LOCATOR_OP_SECONDS = 0.0002
+
+
+class AgLocator(ServiceAgent):
+    """The location registry service."""
+
+    name = "ag_locator"
+
+    def __init__(self, node):
+        super().__init__(node)
+        #: logical name → (owner principal, current uri string).
+        self._entries: Dict[str, Tuple[str, str]] = {}
+
+    def _name_arg(self, message: Message) -> "tuple[str, dict]":
+        args = message.briefcase.get_json(wellknown.ARGS, {})
+        if not isinstance(args, dict) or not args.get("name"):
+            raise ServiceError("locator request needs ARGS {'name': ...}")
+        return args["name"], args
+
+    def op_update(self, message: Message):
+        name, args = self._name_arg(message)
+        uri = args.get("uri")
+        if not uri:
+            raise ServiceError("update needs ARGS {'name', 'uri'}")
+        yield from self.node.host.compute(LOCATOR_OP_SECONDS)
+        sender = message.sender.principal
+        existing = self._entries.get(name)
+        if existing is not None and existing[0] not in (sender, "system") \
+                and sender != "system":
+            raise ServiceError(
+                f"{sender!r} may not update {name!r} owned by "
+                f"{existing[0]!r}")
+        owner = existing[0] if existing is not None else sender
+        self._entries[name] = (owner, uri)
+        return Briefcase()
+
+    def op_lookup(self, message: Message):
+        name, _args = self._name_arg(message)
+        yield from self.node.host.compute(LOCATOR_OP_SECONDS)
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ServiceError(f"no location registered for {name!r}")
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"name": name, "uri": entry[1]})
+        return response
+
+    def op_remove(self, message: Message):
+        name, _args = self._name_arg(message)
+        yield from self.node.host.compute(LOCATOR_OP_SECONDS)
+        sender = message.sender.principal
+        entry = self._entries.get(name)
+        removed = False
+        if entry is not None and (sender in (entry[0], "system")):
+            del self._entries[name]
+            removed = True
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {"removed": removed})
+        return response
+
+    def op_list(self, message: Message):
+        yield from self.node.host.compute(LOCATOR_OP_SECONDS)
+        response = Briefcase()
+        response.put(wellknown.RESULTS, {
+            "entries": {name: uri for name, (_own, uri)
+                        in sorted(self._entries.items())}})
+        return response

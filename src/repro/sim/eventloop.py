@@ -1,0 +1,415 @@
+"""A small discrete-event simulation kernel.
+
+The kernel is a classic event-heap design in the style of SimPy: virtual
+time only advances when the event at the head of the heap is processed, and
+concurrency is expressed with generator-based *processes*.
+
+A process is an ordinary Python generator that yields :class:`Event`
+instances.  When the yielded event triggers, the kernel resumes the
+generator, sending the event's value in (or throwing its exception).  A
+:class:`Process` is itself an event that triggers when the generator
+returns, so processes can wait for each other by yielding the process
+object.
+
+Example::
+
+    kernel = Kernel()
+
+    def worker(kernel):
+        yield kernel.timeout(5.0)
+        return "done"
+
+    proc = kernel.spawn(worker(kernel))
+    kernel.run()
+    assert kernel.now == 5.0 and proc.value == "done"
+
+The kernel is deliberately single-threaded and deterministic: events
+scheduled for the same instant fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.errors import (
+    DeadKernel,
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+    StopProcess,
+)
+
+#: Sentinel for "event has not produced a value yet".
+_PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events start *pending*.  They are *triggered* exactly once, either with
+    :meth:`succeed` (carrying a value) or :meth:`fail` (carrying an
+    exception).  Callbacks attached before triggering run when the kernel
+    processes the event; callbacks attached afterwards run immediately.
+    """
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled onto the event heap."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the kernel has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value.  Raises if the event failed or is pending."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._value = value
+        self.kernel._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.kernel._post(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _fire(self) -> None:
+        """Hook run by the kernel when the event's turn comes."""
+        self._run_callbacks()
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.kernel.now:g}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation.
+
+    Unlike manually-triggered events, a timeout is scheduled at
+    construction but does not count as *triggered* until its instant
+    arrives (its value is assigned when it fires).
+    """
+
+    def __init__(self, kernel: "Kernel", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(kernel)
+        self.delay = delay
+        self._deferred_value = value
+        kernel._post(self, delay=delay)
+
+    def _fire(self) -> None:
+        if self._value is _PENDING and self._exception is None:
+            self._value = self._deferred_value
+        self._run_callbacks()
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers.
+
+    The value is a dict mapping each already-triggered event to its value
+    (in the common case, a single entry).  A failing child fails the
+    AnyOf with the same exception.
+    """
+
+    def __init__(self, kernel: "Kernel", events: Iterable[Event]):
+        super().__init__(kernel)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self.events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)
+            return
+        done = {e: e._value for e in self.events
+                if e.triggered and e.ok}
+        self.succeed(done)
+
+
+class AllOf(Event):
+    """Triggers when every one of ``events`` has triggered.
+
+    The value is a dict mapping each event to its value, in the original
+    order.  A failing child fails the AllOf immediately.
+    """
+
+    def __init__(self, kernel: "Kernel", events: Iterable[Event]):
+        super().__init__(kernel)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e._value for e in self.events})
+
+
+class Process(Event):
+    """A running generator, driven by the events it yields.
+
+    The process object is itself an event: it triggers with the
+    generator's return value when the generator finishes, or fails with
+    the exception that escaped it.
+    """
+
+    def __init__(self, kernel: "Kernel", generator: Generator, name: str = ""):
+        super().__init__(kernel)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"spawn() requires a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current instant.
+        bootstrap = Event(kernel)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        wake = Event(self.kernel)
+        wake.add_callback(lambda _e: self._throw(Interrupt(cause)))
+        wake.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event.exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            self.generator.close()
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - escaping process error
+            self.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            self.generator.close()
+            self.succeed(stop.value)
+            return
+        except BaseException as escaped:  # noqa: BLE001
+            self.fail(escaped)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._throw(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target.kernel is not self.kernel:
+            self._throw(SimulationError(
+                f"process {self.name!r} yielded event from another kernel"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Kernel:
+    """The event loop: a heap of (time, sequence, event) triples."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[tuple] = []
+        self._sequence = 0
+        self._running = False
+        self._dead = False
+        self.processed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- event construction -------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event, to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        if self._dead:
+            raise DeadKernel("cannot spawn on a finished kernel")
+        return Process(self, generator, name=name)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        self.processed_events += 1
+        event._fire()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the heap is empty, ``until`` is reached, or
+        ``max_events`` events have been processed.  Returns the clock.
+        """
+        if self._running:
+            raise SimulationError("kernel is already running (re-entrant run)")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(self, event: Event, until: Optional[float] = None) -> None:
+        """Run only until ``event`` triggers (or the deadline/heap ends).
+
+        Unlike :meth:`run`, this leaves later-scheduled events (stale
+        timeouts, idle service loops) unprocessed, so the clock reflects
+        when the awaited event actually happened.
+        """
+        if self._running:
+            raise SimulationError("kernel is already running (re-entrant run)")
+        self._running = True
+        try:
+            while self._heap and not event.triggered:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+
+    def run_process(self, generator: Generator, name: str = "",
+                    until: Optional[float] = None) -> Any:
+        """Spawn ``generator``, run until it finishes, return its result.
+
+        Convenience for the very common "run one top-level scenario"
+        pattern.  Raises the process's exception if it failed, and
+        :class:`SimulationError` if the kernel drained before the process
+        finished (deadlock).
+        """
+        proc = self.spawn(generator, name=name)
+        self.run_until(proc, until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish "
+                f"(deadlock or until={until!r} too small)")
+        return proc.value

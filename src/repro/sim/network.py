@@ -1,0 +1,200 @@
+"""Simulated network: hosts joined by latency/bandwidth links.
+
+The cost model is the standard first-order one: sending ``n`` bytes over a
+link costs ``latency + n / bandwidth`` seconds.  This is exactly the
+trade-off the paper's experiment measures (remote crawling pays the
+network cost per page; a mobile agent pays it once for the agent and once
+for the condensed result), so it is sufficient to reproduce the shape of
+the results.
+
+Bandwidth is not shared between concurrent flows (documented limitation;
+the paper's experiment has one active transfer at a time).
+
+Links are directional pairs created symmetrically by :meth:`Network.link`.
+Every host implicitly has a loopback link to itself with near-zero cost,
+so "local" interactions are effectively free, as on a real host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.sim.errors import SimulationError
+from repro.sim.eventloop import Kernel
+
+#: Bytes per second for 100 Mbit/s Ethernet (the paper's LAN).
+BANDWIDTH_100MBIT = 100_000_000 / 8
+#: Bytes per second for 10 Mbit/s Ethernet.
+BANDWIDTH_10MBIT = 10_000_000 / 8
+#: Bytes per second for a 1 Mbit/s WAN path.
+BANDWIDTH_1MBIT = 1_000_000 / 8
+
+#: Typical one-way latencies in seconds.
+LATENCY_LAN = 0.0005
+LATENCY_METRO = 0.005
+LATENCY_WAN = 0.050
+
+LOOPBACK_BANDWIDTH = 10_000_000_000 / 8
+LOOPBACK_LATENCY = 0.00001
+
+
+class NetworkError(SimulationError):
+    """Base class for network failures."""
+
+
+class NoRouteError(NetworkError):
+    """There is no link between the two hosts."""
+
+
+class LinkDownError(NetworkError):
+    """The link exists but is partitioned."""
+
+
+@dataclass
+class LinkStats:
+    """Traffic counters for one direction of a link."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+    busy_seconds: float = 0.0
+
+    def record(self, nbytes: int, seconds: float) -> None:
+        self.messages += 1
+        self.payload_bytes += nbytes
+        self.busy_seconds += seconds
+
+
+@dataclass
+class Link:
+    """One direction of a network path between two named hosts."""
+
+    src: str
+    dst: str
+    latency: float
+    bandwidth: float
+    up: bool = True
+    stats: LinkStats = field(default_factory=LinkStats)
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        return self.latency + nbytes / self.bandwidth
+
+
+class Network:
+    """A set of named hosts and the links between them."""
+
+    def __init__(self, kernel: Kernel,
+                 default_latency: Optional[float] = None,
+                 default_bandwidth: Optional[float] = None):
+        self.kernel = kernel
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._hosts: set = set()
+        self.default_latency = default_latency
+        self.default_bandwidth = default_bandwidth
+
+    # -- topology -------------------------------------------------------------
+
+    def add_host(self, name: str) -> None:
+        self._hosts.add(name)
+
+    @property
+    def hosts(self) -> Iterable[str]:
+        return sorted(self._hosts)
+
+    def link(self, a: str, b: str, latency: float = LATENCY_LAN,
+             bandwidth: float = BANDWIDTH_100MBIT) -> None:
+        """Create (or replace) a symmetric link between hosts ``a`` and ``b``."""
+        if a == b:
+            raise ValueError("loopback links are implicit; do not create them")
+        self.add_host(a)
+        self.add_host(b)
+        self._links[(a, b)] = Link(a, b, latency, bandwidth)
+        self._links[(b, a)] = Link(b, a, latency, bandwidth)
+
+    def link_between(self, src: str, dst: str) -> Link:
+        """The link used for src→dst traffic (creating defaults/loopback)."""
+        if src == dst:
+            key = (src, src)
+            if key not in self._links:
+                self._links[key] = Link(src, src, LOOPBACK_LATENCY,
+                                        LOOPBACK_BANDWIDTH)
+            return self._links[key]
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            if self.default_latency is not None and \
+                    self.default_bandwidth is not None and \
+                    src in self._hosts and dst in self._hosts:
+                self.link(src, dst, self.default_latency,
+                          self.default_bandwidth)
+                return self._links[(src, dst)]
+            raise NoRouteError(f"no link {src} -> {dst}") from None
+
+    def set_link_up(self, a: str, b: str, up: bool) -> None:
+        """Partition or heal both directions of a link."""
+        for key in ((a, b), (b, a)):
+            if key in self._links:
+                self._links[key].up = up
+            else:
+                raise NoRouteError(f"no link {key[0]} -> {key[1]}")
+
+    # -- traffic --------------------------------------------------------------
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Cost in seconds of moving ``nbytes`` from src to dst (no effect)."""
+        return self.link_between(src, dst).transfer_time(nbytes)
+
+    def transfer(self, src: str, dst: str, nbytes: int):
+        """A process step that spends the transfer time and records stats.
+
+        Usage inside a process: ``yield from net.transfer(a, b, n)``.
+        Returns the elapsed seconds.
+        """
+        link = self.link_between(src, dst)
+        if not link.up:
+            raise LinkDownError(f"link {src} -> {dst} is partitioned")
+        seconds = link.transfer_time(nbytes)
+        link.stats.record(nbytes, seconds)
+        yield self.kernel.timeout(seconds)
+        return seconds
+
+    def charge(self, src: str, dst: str, nbytes: int) -> float:
+        """Record a transfer and return its duration *without* waiting.
+
+        Used by synchronous code (e.g. the stationary robot's HTTP client)
+        that accumulates cost into a ledger and sleeps once at the end.
+        Raises if the link is partitioned.
+        """
+        link = self.link_between(src, dst)
+        if not link.up:
+            raise LinkDownError(f"link {src} -> {dst} is partitioned")
+        seconds = link.transfer_time(nbytes)
+        link.stats.record(nbytes, seconds)
+        return seconds
+
+    # -- accounting -----------------------------------------------------------
+
+    def stats_between(self, src: str, dst: str) -> LinkStats:
+        return self.link_between(src, dst).stats
+
+    def total_remote_bytes(self) -> int:
+        """Total payload bytes that crossed any non-loopback link."""
+        return sum(link.stats.payload_bytes
+                   for (a, b), link in self._links.items() if a != b)
+
+    def total_remote_messages(self) -> int:
+        return sum(link.stats.messages
+                   for (a, b), link in self._links.items() if a != b)
+
+    def reset_stats(self) -> None:
+        for link in self._links.values():
+            link.stats = LinkStats()

@@ -1,0 +1,103 @@
+"""Seeded random-number streams for reproducible simulations.
+
+Every stochastic component takes a :class:`RandomStream` (or a seed) so a
+whole experiment is reproducible from a single integer.  Streams can be
+forked: ``stream.fork("site")`` derives an independent child stream whose
+sequence does not depend on how much of the parent was consumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional, Sequence
+
+
+class RandomStream:
+    """A named, forkable wrapper around :class:`random.Random`."""
+
+    def __init__(self, seed: int = 0, name: str = "root"):
+        self.seed = int(seed)
+        self.name = name
+        self._random = random.Random(self._derive(seed, name))
+
+    @staticmethod
+    def _derive(seed: int, name: str) -> int:
+        digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def fork(self, name: str) -> "RandomStream":
+        """An independent child stream, deterministic in (seed, path)."""
+        return RandomStream(self.seed, f"{self.name}/{name}")
+
+    # -- draws ----------------------------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        return self._random.lognormvariate(mu, sigma)
+
+    def pareto(self, alpha: float, scale: float = 1.0) -> float:
+        return scale * self._random.paretovariate(alpha)
+
+    def choice(self, seq: Sequence):
+        return self._random.choice(seq)
+
+    def sample(self, seq: Sequence, k: int) -> list:
+        k = min(k, len(seq))
+        return self._random.sample(list(seq), k)
+
+    def shuffle(self, seq: list) -> None:
+        self._random.shuffle(seq)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self._random.random() < probability
+
+    def bounded_lognormal(self, mu: float, sigma: float,
+                          low: float, high: float) -> float:
+        """A lognormal draw clamped to [low, high].
+
+        Used for page-size distributions, where a heavy tail is realistic
+        but single pathological draws would distort small experiments.
+        """
+        return max(low, min(high, self.lognormal(mu, sigma)))
+
+    def zipf_index(self, n: int, skew: float = 1.0) -> int:
+        """An index in [0, n) drawn from a Zipf-like distribution."""
+        if n <= 0:
+            raise ValueError("zipf_index requires n >= 1")
+        weights = [1.0 / (i + 1) ** skew for i in range(n)]
+        total = sum(weights)
+        point = self._random.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if point <= acc:
+                return i
+        return n - 1
+
+    def __repr__(self) -> str:
+        return f"<RandomStream seed={self.seed} name={self.name!r}>"
+
+
+def stream_from(seed_or_stream: Optional[object], name: str) -> RandomStream:
+    """Coerce an int seed, a stream, or None into a :class:`RandomStream`."""
+    if seed_or_stream is None:
+        return RandomStream(0, name)
+    if isinstance(seed_or_stream, RandomStream):
+        return seed_or_stream.fork(name)
+    if isinstance(seed_or_stream, int):
+        return RandomStream(seed_or_stream, name)
+    raise TypeError(f"expected int seed or RandomStream, got {seed_or_stream!r}")

@@ -1,0 +1,18 @@
+"""Deployment layer: nodes, clusters, and standard testbeds."""
+
+from repro.system.bootstrap import (
+    CLIENT_HOST,
+    DEFAULT_EXTERNAL_HOSTS,
+    SERVER_HOST,
+    Testbed,
+    build_campus_testbed,
+    build_linkcheck_testbed,
+)
+from repro.system.cluster import TaxCluster
+from repro.system.node import TaxNode
+
+__all__ = [
+    "CLIENT_HOST", "DEFAULT_EXTERNAL_HOSTS", "SERVER_HOST",
+    "Testbed", "build_campus_testbed", "build_linkcheck_testbed",
+    "TaxCluster", "TaxNode",
+]

@@ -1,0 +1,103 @@
+"""TaxCluster: a multi-host TAX deployment over the simulated network.
+
+The cluster owns the kernel, the network, the shared key/trust material,
+and the firewall directory; nodes are added per host.  This is the
+top-level object experiments build (usually through
+:mod:`repro.system.bootstrap`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.identity import SYSTEM_PRINCIPAL
+from repro.core.uri import AgentUri
+from repro.firewall.auth import KeyChain, TrustStore
+from repro.firewall.firewall import FirewallDirectory
+from repro.firewall.policy import Policy
+from repro.sim.eventloop import Kernel
+from repro.sim.host import HostRegistry, SimHost
+from repro.sim.network import Network
+from repro.system.node import TaxNode
+
+
+class TaxCluster:
+    """All the TAX nodes of one simulated world."""
+
+    def __init__(self, kernel: Optional[Kernel] = None,
+                 network: Optional[Network] = None,
+                 web=None):
+        self.kernel = kernel or Kernel()
+        self.network = network or Network(self.kernel)
+        self.web = web
+        self.hosts = HostRegistry()
+        self.nodes: Dict[str, TaxNode] = {}
+        self.directory = FirewallDirectory()
+        self.keychain = KeyChain()
+        self._shared_secrets: Dict[str, bytes] = {}
+        self._trusted: set = set()
+        # Every deployment has the system principal, trusted everywhere.
+        self.add_principal(SYSTEM_PRINCIPAL, trusted=True)
+
+    # -- principals --------------------------------------------------------------------
+
+    def add_principal(self, principal: str, trusted: bool = False) -> None:
+        """Create a signing key and make every (future) node know it."""
+        secret = self.keychain.create_key(principal)
+        self._shared_secrets[principal] = secret
+        if trusted:
+            self._trusted.add(principal)
+        for node in self.nodes.values():
+            node.firewall.trust_store.add_principal(
+                principal, secret, trusted=trusted)
+
+    def _make_trust_store(self) -> TrustStore:
+        store = TrustStore()
+        for principal, secret in self._shared_secrets.items():
+            store.add_principal(principal, secret,
+                                trusted=principal in self._trusted)
+        return store
+
+    # -- nodes ----------------------------------------------------------------------------
+
+    def add_node(self, host_name: str, arch: str = "x86-unix",
+                 cpu_factor: float = 1.0,
+                 policy: Optional[Policy] = None,
+                 boot: bool = True) -> TaxNode:
+        if host_name in self.nodes:
+            raise ValueError(f"duplicate node {host_name!r}")
+        host = self.hosts.add(
+            SimHost(self.kernel, self.network, host_name,
+                    arch=arch, cpu_factor=cpu_factor))
+        node = TaxNode(
+            self.kernel, self.network, host, directory=self.directory,
+            trust_store=self._make_trust_store(), keychain=self.keychain,
+            policy=policy, site_ordinal=len(self.nodes), web=self.web)
+        self.nodes[host_name] = node
+        if boot:
+            node.boot()
+        return node
+
+    def node(self, host_name: str) -> TaxNode:
+        try:
+            return self.nodes[host_name]
+        except KeyError:
+            raise KeyError(f"no TAX node on host {host_name!r}") from None
+
+    def node_names(self) -> List[str]:
+        return sorted(self.nodes)
+
+    # -- addressing --------------------------------------------------------------------------
+
+    def vm_uri(self, host_name: str, vm_name: str = "vm_python") -> AgentUri:
+        """The launch address of a VM at a host (a ``go`` target)."""
+        if host_name not in self.nodes:
+            raise KeyError(f"no TAX node on host {host_name!r}")
+        return AgentUri(host=host_name, name=vm_name)
+
+    # -- running ------------------------------------------------------------------------------
+
+    def run(self, generator, name: str = "scenario",
+            until: Optional[float] = None):
+        """Run a top-level scenario process to completion."""
+        return self.kernel.run_process(generator, name=name, until=until)

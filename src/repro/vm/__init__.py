@@ -1,0 +1,28 @@
+"""Virtual machines and code shipping.
+
+- :mod:`repro.vm.loader` — payload kinds and pack/unpack (by-ref,
+  by-value marshal, source text, signed binary lists);
+- :mod:`repro.vm.sandbox` — restricted execution namespaces;
+- :mod:`repro.vm.base` — the VM-as-agent launch protocol;
+- :mod:`repro.vm.vm_python` / :mod:`repro.vm.vm_source` /
+  :mod:`repro.vm.vm_bin` — the three standard engines.
+"""
+
+from repro.vm import loader
+from repro.vm.base import VirtualMachine
+from repro.vm.sandbox import (
+    DEFAULT_ALLOWED_IMPORTS,
+    Sandbox,
+    TrustedSandbox,
+    run_limited,
+)
+from repro.vm.vm_bin import VmBin
+from repro.vm.vm_pickle import VmPickle
+from repro.vm.vm_python import VmPython
+from repro.vm.vm_source import VmSource
+
+__all__ = [
+    "loader",
+    "VirtualMachine", "VmBin", "VmPickle", "VmPython", "VmSource",
+    "DEFAULT_ALLOWED_IMPORTS", "Sandbox", "TrustedSandbox", "run_limited",
+]

@@ -1,0 +1,43 @@
+"""vm_pickle: executes pickled object agents.
+
+The Python-native agent style: the agent is a class instance whose
+attributes carry the state; migration re-pickles the instance (see
+:mod:`repro.agent.objagent`).  Safety comes from
+:class:`~repro.vm.loader.RestrictedUnpickler` — the pickle may only
+resolve classes from whitelisted module prefixes, so a briefcase cannot
+smuggle in ``os.system`` or friends.  The class itself is by-reference
+software that must already be installed at the landing pad.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.errors import VMError
+from repro.firewall.message import Message
+from repro.vm import loader
+from repro.vm.base import VirtualMachine
+
+
+class VmPickle(VirtualMachine):
+    """Object-agent VM with restricted unpickling."""
+
+    name = "vm_pickle"
+    accepts = (loader.KIND_PICKLE,)
+
+    def __init__(self, node,
+                 allowed_prefixes: Iterable[str] =
+                 loader.DEFAULT_PICKLE_ALLOWED):
+        super().__init__(node)
+        self.allowed_prefixes = tuple(allowed_prefixes)
+
+    def prepare_entry(self, message: Message,
+                      payload: loader.Payload) -> Callable:
+        agent = loader.materialize_pickle(payload, self.allowed_prefixes)
+        run = getattr(agent, "run", None)
+        if not callable(run):
+            raise VMError(
+                f"pickled object {type(agent).__name__!r} has no "
+                "callable run(ctx, briefcase) method")
+        yield self.kernel.timeout(0)
+        return run

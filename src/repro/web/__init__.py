@@ -1,0 +1,39 @@
+"""Simulated web substrate: URLs, pages, sites, servers, HTTP clients.
+
+Replaces the paper's real workload (the Tromsø CS department web server)
+with a parameterised synthetic equivalent; ``paper_site_spec()`` is the
+exact E1 configuration (917 pages, 3 MB).
+"""
+
+from repro.web import urls
+from repro.web.client import ClientModel, ClientResponse, SimHttpClient
+from repro.web.page import Page, make_filler, render_page
+from repro.web.server import (
+    HttpRequest,
+    HttpResponse,
+    ServerModel,
+    WebDeployment,
+    WebServer,
+)
+from repro.web.site import (
+    PAPER_MAX_DEPTH,
+    PAPER_N_PAGES,
+    PAPER_TOTAL_BYTES,
+    Site,
+    SiteSpec,
+    SiteTruth,
+    external_stub_site,
+    generate_site,
+    paper_site_spec,
+)
+
+__all__ = [
+    "urls",
+    "ClientModel", "ClientResponse", "SimHttpClient",
+    "Page", "make_filler", "render_page",
+    "HttpRequest", "HttpResponse", "ServerModel", "WebDeployment",
+    "WebServer",
+    "PAPER_MAX_DEPTH", "PAPER_N_PAGES", "PAPER_TOTAL_BYTES",
+    "Site", "SiteSpec", "SiteTruth", "external_stub_site", "generate_site",
+    "paper_site_spec",
+]

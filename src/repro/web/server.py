@@ -1,0 +1,166 @@
+"""Simulated web servers.
+
+A :class:`WebServer` binds a generated :class:`~repro.web.site.Site` to a
+:class:`~repro.sim.host.SimHost` and answers GET/HEAD requests with the
+page bodies and status codes a real 1999 HTTP server would.  Service time
+is charged per request through the host's CPU model.
+
+A :class:`WebDeployment` is the "DNS + internet" of a simulation: the
+registry mapping ``host[:port]`` to servers, shared by all HTTP clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.sim.host import SimHost
+from repro.web import urls
+from repro.web.site import Site
+
+#: Approximate HTTP/1.0 header overheads, used for wire accounting.
+REQUEST_OVERHEAD_BYTES = 80
+RESPONSE_OVERHEAD_BYTES = 160
+
+STATUS_REASONS = {
+    200: "OK",
+    301: "Moved Permanently",
+    404: "Not Found",
+    501: "Not Implemented",
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A parsed request as the server sees it."""
+
+    method: str
+    path: str
+
+    @property
+    def wire_bytes(self) -> int:
+        return REQUEST_OVERHEAD_BYTES + len(self.method) + len(self.path)
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A server response; ``body`` is empty for HEAD and error statuses.
+
+    ``location`` carries the absolute redirect target for 3xx statuses
+    (1999-era servers sent absolute Location URLs).
+    """
+
+    status: int
+    body: str = ""
+    content_length: int = 0
+    location: Optional[str] = None
+    content_type: str = "text/html"
+    age_days: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return 300 <= self.status < 400 and self.location is not None
+
+    @property
+    def reason(self) -> str:
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+    @property
+    def wire_bytes(self) -> int:
+        return RESPONSE_OVERHEAD_BYTES + len(self.body.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class ServerModel:
+    """Timing model for request handling (reference CPU seconds)."""
+
+    per_request_cpu: float = 0.003
+    per_kilobyte_cpu: float = 0.0002
+
+    def service_seconds(self, response: HttpResponse) -> float:
+        size_kb = len(response.body.encode("utf-8")) / 1024.0
+        return self.per_request_cpu + size_kb * self.per_kilobyte_cpu
+
+
+class WebServer:
+    """One site served from one simulated host."""
+
+    def __init__(self, host: SimHost, site: Site,
+                 model: Optional[ServerModel] = None):
+        self.host = host
+        self.site = site
+        self.model = model or ServerModel()
+        self.requests_served = 0
+        self.bytes_served = 0
+
+    @property
+    def site_key(self) -> str:
+        return self.site.host
+
+    def handle(self, request: HttpRequest) -> "tuple[HttpResponse, float]":
+        """Process a request; returns (response, service_seconds)."""
+        self.requests_served += 1
+        if request.method not in ("GET", "HEAD"):
+            response = HttpResponse(501)
+        else:
+            path = urls.normalize_path(request.path)
+            if path == "/robots.txt" and self.site.robots_txt is not None:
+                body = "" if request.method == "HEAD" else \
+                    self.site.robots_txt
+                response = HttpResponse(
+                    200, body, content_length=len(self.site.robots_txt))
+            elif path in self.site.redirects:
+                target = self.site.redirects[path]
+                location = target if "://" in target else \
+                    f"http://{self.site.host}{target}"
+                response = HttpResponse(301, location=location)
+            else:
+                page = self.site.pages.get(path)
+                if page is None:
+                    body = "" if request.method == "HEAD" else \
+                        f"<html><body>404 Not Found: {path}</body></html>"
+                    response = HttpResponse(404, body,
+                                            content_length=len(body))
+                else:
+                    body = "" if request.method == "HEAD" else page.html
+                    response = HttpResponse(
+                        200, body, content_length=page.size,
+                        content_type=page.content_type,
+                        age_days=page.age_days)
+        self.bytes_served += len(response.body.encode("utf-8"))
+        seconds = self.host.charge_compute(
+            self.model.service_seconds(response))
+        return response, seconds
+
+
+class WebDeployment:
+    """All the web servers of a simulated internet, keyed by site."""
+
+    def __init__(self, servers: Iterable[WebServer] = ()):
+        self._servers: Dict[str, WebServer] = {}
+        for server in servers:
+            self.add(server)
+
+    def add(self, server: WebServer) -> WebServer:
+        key = server.site_key
+        if key in self._servers:
+            raise ValueError(f"duplicate web server for {key!r}")
+        self._servers[key] = server
+        return server
+
+    def resolve(self, url: urls.Url) -> Optional[WebServer]:
+        """The server answering for this URL, or None (host unknown)."""
+        return self._servers.get(url.site)
+
+    def servers(self) -> Iterable[WebServer]:
+        return self._servers.values()
+
+    def __contains__(self, site_key: str) -> bool:
+        return site_key in self._servers
+
+    def __len__(self) -> int:
+        return len(self._servers)

@@ -1,0 +1,49 @@
+"""Wrappers: composable, transportable system support for agents.
+
+- :mod:`repro.wrappers.mobility` — the mobility wrapper (mwWebbot's
+  generic form): carry a program, hop an itinerary, execute via ag_exec,
+  ship condensed results home;
+- :mod:`repro.wrappers.monitor` — location reporting + status queries
+  (rwWebbot);
+- :mod:`repro.wrappers.groupcomm` — FIFO / totally-ordered multicast;
+- :mod:`repro.wrappers.location` — location-transparent naming;
+- :mod:`repro.wrappers.logwrap` — traffic tap;
+- :mod:`repro.wrappers.fault` — checkpoint/recover.
+"""
+
+from repro.wrappers.base import AgentWrapper
+from repro.wrappers.fault import CheckpointWrapper, recover
+from repro.wrappers.groupcomm import GroupCommWrapper, group_send
+from repro.wrappers.location import LocationWrapper, resolve, send_via
+from repro.wrappers.logwrap import LoggingWrapper
+from repro.wrappers.mobility import (
+    add_stop,
+    install_program,
+    make_task_briefcase,
+    mobile_task_agent,
+    read_program,
+    set_home,
+    set_postprocessor,
+)
+from repro.wrappers.monitor import MonitorLog, MonitorWrapper
+from repro.wrappers.sealing import SealingWrapper
+from repro.wrappers.stack import (
+    WrapperSpec,
+    WrapperStack,
+    build_stack,
+    install_wrappers,
+    read_wrapper_specs,
+)
+
+__all__ = [
+    "AgentWrapper",
+    "CheckpointWrapper", "recover",
+    "GroupCommWrapper", "group_send",
+    "LocationWrapper", "resolve", "send_via",
+    "LoggingWrapper",
+    "add_stop", "install_program", "make_task_briefcase",
+    "mobile_task_agent", "read_program", "set_home", "set_postprocessor",
+    "MonitorLog", "MonitorWrapper", "SealingWrapper",
+    "WrapperSpec", "WrapperStack", "build_stack", "install_wrappers",
+    "read_wrapper_specs",
+]

@@ -1,0 +1,81 @@
+"""Wrapper interface: intercepting the minimal agent interface.
+
+Paper section 4: *"Agents can perform only two actions that are
+observable to the system: Sending a briefcase and receiving a briefcase
+... It is this interface a wrapper can observe and intercept messages
+to."*  And: *"The system passes any briefcase from the agent to the
+wrapper, and any briefcase addressed to the agent is sent to the wrapper
+first.  Wrappers may be stacked in arbitrary depth."*
+
+A wrapper therefore implements (any subset of):
+
+- ``on_send``    — observe/rewrite/swallow outbound briefcases;
+- ``on_receive`` — observe/rewrite/consume inbound briefcases;
+- lifecycle hooks (``on_attach``, ``on_arrive``, ``on_depart``,
+  ``on_detach``) so wrappers can carry cross-hop behaviour (the
+  monitoring wrapper reports every arrival).
+
+Wrappers travel with the agent: the stack is serialised into the
+briefcase's WRAPPERS folder and re-instantiated by the destination VM
+(see :mod:`repro.wrappers.stack`), which is exactly how agents "carry
+with them the specific system support they need".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.briefcase import Briefcase
+from repro.core.uri import AgentUri
+from repro.firewall.message import Message
+
+
+class AgentWrapper:
+    """Base class: the identity wrapper.  Subclass and override hooks."""
+
+    #: Stable type tag used in logs and reports.
+    kind = "identity"
+
+    def __init__(self, config: Optional[dict] = None):
+        self.config = dict(config or {})
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def on_attach(self, ctx) -> None:
+        """Called once when the wrapper is bound to a (re)launched agent."""
+
+    def on_arrive(self, ctx) -> None:
+        """Called after the wrapped agent registers at a (new) site."""
+
+    def on_depart(self, ctx, target: AgentUri) -> None:
+        """Called just before the wrapped agent moves to ``target``."""
+
+    def on_detach(self, ctx) -> None:
+        """Called when the wrapped agent terminates at this site."""
+
+    # -- interception -----------------------------------------------------------
+
+    def on_send(self, ctx, target: AgentUri, briefcase: Briefcase
+                ) -> Optional[Tuple[AgentUri, Briefcase]]:
+        """Intercept an outbound briefcase.
+
+        Return a (possibly rewritten) ``(target, briefcase)`` to pass it
+        outward, or None to swallow it.
+        """
+        return target, briefcase
+
+    def on_receive(self, ctx, message: Message) -> Optional[Message]:
+        """Intercept an inbound message.
+
+        Return a (possibly rewritten) message to pass it inward, or None
+        to consume it (e.g. a control message answered by the wrapper).
+        """
+        return message
+
+    # -- introspection -------------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "config": dict(self.config)}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} kind={self.kind!r}>"

@@ -1,0 +1,102 @@
+"""Fault-tolerance wrapper: checkpoint-to-cabinet and recovery.
+
+Paper section 4 lists fault tolerance among the support multi-hop agents
+need but single-hop agents don't — exactly the kind of functionality
+that should travel *with* the agent rather than bloat every landing pad.
+
+The :class:`CheckpointWrapper` snapshots the wrapped agent's entire
+briefcase (code included — briefcases are relaunchable) into an
+``ag_cabinet`` drawer at a stable host on every arrival and/or
+departure.  If the agent is later lost — host crash, kill, partition —
+:func:`recover` pulls the last checkpoint out of the cabinet and
+relaunches it on a VM, resuming the itinerary from the last saved hop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import MigrationError, TaxError
+from repro.core.uri import AgentUri
+from repro.core import wellknown
+from repro.wrappers.base import AgentWrapper
+
+
+class CheckpointWrapper(AgentWrapper):
+    """Checkpoints the wrapped agent's briefcase to a cabinet drawer.
+
+    Config keys:
+
+    - ``cabinet``: URI string of the ag_cabinet service to store at
+      (usually at the home host);
+    - ``drawer``: the drawer name (required);
+    - ``on``: list of points to checkpoint at — any of ``"arrive"``,
+      ``"depart"`` (lifecycle), and ``"send"`` (before every outbound
+      briefcase, i.e. at each of the agent's observable actions).
+      Default: arrive + depart.
+    """
+
+    kind = "checkpoint"
+
+    def __init__(self, config: Optional[dict] = None):
+        super().__init__(config)
+        if "cabinet" not in self.config or "drawer" not in self.config:
+            raise ValueError(
+                "checkpoint wrapper needs 'cabinet' and 'drawer' config")
+        self.points = tuple(self.config.get("on", ("arrive", "depart")))
+        self.checkpoints_taken = 0
+
+    def _checkpoint(self, ctx) -> None:
+        request = ctx.briefcase.snapshot()
+        request.put(wellknown.OP, "put")
+        request.put("DRAWER", self.config["drawer"])
+        ctx.post(AgentUri.parse(self.config["cabinet"]), request)
+        self.checkpoints_taken += 1
+
+    def on_arrive(self, ctx) -> None:
+        if "arrive" in self.points:
+            self._checkpoint(ctx)
+
+    def on_depart(self, ctx, target: AgentUri) -> None:
+        if "depart" in self.points:
+            self._checkpoint(ctx)
+
+    def on_send(self, ctx, target: AgentUri, briefcase: Briefcase):
+        if "send" in self.points and \
+                briefcase.get_text(wellknown.OP) != "put":
+            # (Skip the wrapper's own cabinet traffic to avoid recursion.)
+            self._checkpoint(ctx)
+        return target, briefcase
+
+
+def recover(ctx, cabinet: "str | AgentUri", drawer: str,
+            vm_target: "str | AgentUri", timeout: float = 60.0) -> str:
+    """Relaunch the last checkpoint of an agent (generator).
+
+    ``ctx`` must belong to the same principal that owned the lost agent
+    (cabinet drawers are principal-scoped).  Returns the relaunched
+    agent's URI string.
+    """
+    cabinet_uri = cabinet if isinstance(cabinet, AgentUri) \
+        else AgentUri.parse(cabinet)
+    request = Briefcase()
+    request.put(wellknown.OP, "get")
+    request.put("DRAWER", drawer)
+    reply = yield from ctx.meet(cabinet_uri, request, timeout=timeout)
+    if reply.get_text(wellknown.STATUS) != "ok":
+        raise TaxError(
+            f"no checkpoint in drawer {drawer!r}: "
+            f"{reply.get_text(wellknown.ERROR)}")
+    checkpoint = reply.snapshot()
+    for transport_folder in (wellknown.STATUS, wellknown.MEET_TOKEN,
+                             wellknown.REPLY_TO):
+        checkpoint.drop(transport_folder)
+    vm_uri = vm_target if isinstance(vm_target, AgentUri) \
+        else AgentUri.parse(vm_target)
+    launch_reply = yield from ctx.meet(vm_uri, checkpoint, timeout=timeout)
+    if launch_reply.get_text(wellknown.STATUS) != "ok":
+        raise MigrationError(
+            f"recovery relaunch failed: "
+            f"{launch_reply.get_text(wellknown.ERROR)}")
+    return launch_reply.get_text("AGENT-URI")

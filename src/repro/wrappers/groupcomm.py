@@ -1,0 +1,204 @@
+"""Group-communication wrapper: FIFO / totally-ordered multicast.
+
+Paper section 4's worked example of carried system support: *"a group
+communication wrapper can be used to wrap an application agent.  As the
+wrapper is instantiated, it is given parameters such as group membership
+(all agents sharing common class), and desired properties of
+communication (casual, FIFO, atomic, etc)."*
+
+The wrapper intercepts sends addressed to the *group name* and fans them
+out to the member URIs; inbound group traffic is re-sequenced before the
+agent sees it:
+
+- ``fifo`` — per-sender FIFO: each sender stamps a sequence number;
+  receivers hold back out-of-order messages and release them in order.
+- ``total`` — atomic/total order via a fixed sequencer (the classic
+  design the paper's ISIS/Horus lineage used): senders forward to the
+  sequencer member, which stamps a global sequence and fans out; all
+  members deliver in stamped order.
+
+Held-back messages are re-injected through the firewall once their gap
+fills, so ordering costs real (simulated) redelivery work.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.briefcase import Briefcase
+from repro.core.uri import AgentUri
+from repro.firewall.message import Message
+from repro.wrappers.base import AgentWrapper
+
+GC_GROUP = "GC-GROUP"
+GC_SENDER = "GC-SENDER"
+GC_SEQ = "GC-SEQ"
+GC_TOTAL_SEQ = "GC-TOTAL-SEQ"
+GC_KIND = "GC-KIND"
+
+KIND_DATA = "data"
+KIND_TO_ORDER = "to-order"
+
+ORDER_FIFO = "fifo"
+ORDER_TOTAL = "total"
+
+
+def _member_key(uri: AgentUri) -> "tuple":
+    """Identity of a member for self-comparison (host + agent name)."""
+    return (uri.host, uri.name)
+
+
+class GroupCommWrapper(AgentWrapper):
+    """Multicast with ordering, carried by the agent itself.
+
+    Config keys:
+
+    - ``group``: the logical group name (sends addressed to this name are
+      intercepted);
+    - ``members``: list of member agent URI strings;
+    - ``ordering``: ``"fifo"`` (default) or ``"total"``;
+    - ``deliver_self``: include the sender in the fan-out (default True).
+    """
+
+    kind = "groupcomm"
+
+    def __init__(self, config: Optional[dict] = None):
+        super().__init__(config)
+        self.group = self.config.get("group", "group")
+        self.members: List[str] = list(self.config.get("members", ()))
+        if not self.members:
+            raise ValueError("group wrapper needs a non-empty member list")
+        self.ordering = self.config.get("ordering", ORDER_FIFO)
+        if self.ordering not in (ORDER_FIFO, ORDER_TOTAL):
+            raise ValueError(f"unknown ordering {self.ordering!r}")
+        self.deliver_self = bool(self.config.get("deliver_self", True))
+        self._send_seq = 0
+        self._sequencer_seq = 0
+        #: sender uri -> next expected per-sender seq (fifo).
+        self._expected: Dict[str, int] = {}
+        #: expected next total seq (total order).
+        self._expected_total = 1
+        #: held-back messages awaiting their gap, by ordering key.
+        self._holdback: Dict[object, Message] = {}
+        self.delivered = 0
+        self.reordered = 0
+
+    # -- helpers --------------------------------------------------------------------
+
+    @property
+    def sequencer(self) -> str:
+        return self.members[0]
+
+    def _is_sequencer(self, ctx) -> bool:
+        return _member_key(AgentUri.parse(self.sequencer)) == \
+            _member_key(ctx.uri)
+
+    def _stamp(self, briefcase: Briefcase, ctx, kind: str) -> Briefcase:
+        stamped = briefcase.snapshot()
+        stamped.put(GC_GROUP, self.group)
+        stamped.put(GC_SENDER, str(ctx.uri))
+        stamped.put(GC_KIND, kind)
+        return stamped
+
+    def _fan_out(self, ctx, briefcase: Briefcase) -> None:
+        for member in self.members:
+            member_uri = AgentUri.parse(member)
+            if not self.deliver_self and \
+                    _member_key(member_uri) == _member_key(ctx.uri):
+                continue
+            ctx.post(member_uri, briefcase.snapshot())
+
+    # -- outbound ----------------------------------------------------------------------
+
+    def on_send(self, ctx, target: AgentUri, briefcase: Briefcase):
+        if target.name != self.group:
+            return target, briefcase
+        if self.ordering == ORDER_FIFO:
+            self._send_seq += 1
+            stamped = self._stamp(briefcase, ctx, KIND_DATA)
+            stamped.put(GC_SEQ, self._send_seq)
+            self._fan_out(ctx, stamped)
+            return None
+        # Total order: route through the sequencer.
+        if self._is_sequencer(ctx):
+            self._sequencer_seq += 1
+            stamped = self._stamp(briefcase, ctx, KIND_DATA)
+            stamped.put(GC_TOTAL_SEQ, self._sequencer_seq)
+            self._fan_out(ctx, stamped)
+        else:
+            stamped = self._stamp(briefcase, ctx, KIND_TO_ORDER)
+            ctx.post(AgentUri.parse(self.sequencer), stamped)
+        return None
+
+    # -- inbound ------------------------------------------------------------------------
+
+    def on_receive(self, ctx, message: Message) -> Optional[Message]:
+        briefcase = message.briefcase
+        if briefcase.get_text(GC_GROUP) != self.group:
+            return message
+        kind = briefcase.get_text(GC_KIND)
+        if kind == KIND_TO_ORDER:
+            if self._is_sequencer(ctx):
+                self._sequencer_seq += 1
+                stamped = briefcase.snapshot()
+                stamped.put(GC_KIND, KIND_DATA)
+                stamped.put(GC_TOTAL_SEQ, self._sequencer_seq)
+                self._fan_out(ctx, stamped)
+            return None
+        if self.ordering == ORDER_FIFO:
+            return self._deliver_fifo(ctx, message)
+        return self._deliver_total(ctx, message)
+
+    def _deliver_fifo(self, ctx, message: Message) -> Optional[Message]:
+        briefcase = message.briefcase
+        sender = briefcase.get_text(GC_SENDER, "")
+        seq = int(briefcase.get_json(GC_SEQ, 0))
+        expected = self._expected.get(sender, 1)
+        if seq < expected:
+            return None  # duplicate
+        if seq > expected:
+            self.reordered += 1
+            self._holdback[(sender, seq)] = message
+            return None
+        self._expected[sender] = expected + 1
+        self._release_fifo(ctx, sender)
+        self.delivered += 1
+        return message
+
+    def _release_fifo(self, ctx, sender: str) -> None:
+        """Re-inject consecutively held messages now that the gap filled."""
+        while (sender, self._expected.get(sender, 1)) in self._holdback:
+            seq = self._expected[sender]
+            held = self._holdback.pop((sender, seq))
+            ctx.post(ctx.uri, held.briefcase)
+            # The re-posted copy will come back through on_receive with
+            # seq == expected at that time; bump now so ordering holds if
+            # more arrive meanwhile.
+            break  # one at a time: redelivery re-triggers release
+
+    def _deliver_total(self, ctx, message: Message) -> Optional[Message]:
+        briefcase = message.briefcase
+        seq = int(briefcase.get_json(GC_TOTAL_SEQ, 0))
+        if seq < self._expected_total:
+            return None  # duplicate
+        if seq > self._expected_total:
+            self.reordered += 1
+            self._holdback[("total", seq)] = message
+            return None
+        self._expected_total += 1
+        nxt = ("total", self._expected_total)
+        if nxt in self._holdback:
+            held = self._holdback.pop(nxt)
+            ctx.post(ctx.uri, held.briefcase)
+        self.delivered += 1
+        return message
+
+
+def group_send(ctx, group_name: str, briefcase: Briefcase):
+    """Agent-side helper: multicast through the group wrapper.
+
+    The group name is resolved entirely inside the wrapper; the firewall
+    never sees the unexpanded address.
+    """
+    return ctx.send(AgentUri.for_agent(group_name), briefcase)

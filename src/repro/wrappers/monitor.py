@@ -1,0 +1,133 @@
+"""The monitoring wrapper (the paper's rwWebbot).
+
+Paper section 5: *"In order for us to monitor and keep control of the
+application, we added another wrapper around mwWebbot, called rwWebbot.
+This wrapper reports back to a monitoring tool about the location of the
+agent it wraps ... and can be queried about the status of the
+computation."*
+
+The wrapper does two things, both without the wrapped agent's knowledge:
+
+- **location reporting** — every arrival/departure/finish posts an event
+  briefcase to the configured monitor URI;
+- **status queries** — inbound messages with OP=``status-query`` are
+  answered by the wrapper itself (consumed before the agent sees them).
+
+:class:`MonitorLog` is the matching "monitoring tool": a tiny collector
+that accumulates the reports for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.briefcase import Briefcase
+from repro.core.uri import AgentUri
+from repro.core import wellknown
+from repro.firewall.message import Message
+from repro.wrappers.base import AgentWrapper
+
+OP_STATUS_QUERY = "status-query"
+EVENT_FOLDER = "MONITOR-EVENT"
+
+
+class MonitorWrapper(AgentWrapper):
+    """Reports location, answers status queries.
+
+    Config keys:
+
+    - ``monitor``: URI string of the monitoring tool (optional — without
+      it the wrapper only answers queries);
+    - ``tag``: label included in every report (defaults to the agent name).
+    """
+
+    kind = "monitor"
+
+    def __init__(self, config: Optional[dict] = None):
+        super().__init__(config)
+        self.messages_forwarded = 0
+        self.queries_answered = 0
+
+    # -- reporting ------------------------------------------------------------------
+
+    def _report(self, ctx, event: str, extra: Optional[dict] = None) -> None:
+        monitor = self.config.get("monitor")
+        if monitor is None:
+            return
+        body = {
+            "event": event,
+            "agent": f"{ctx.name}:{ctx.instance}" if ctx.registration
+            else ctx.vm_name,
+            "tag": self.config.get("tag", ctx.name if ctx.registration
+                                    else "agent"),
+            "host": ctx.host_name,
+            "t": ctx.now,
+        }
+        body.update(extra or {})
+        briefcase = Briefcase()
+        briefcase.put(EVENT_FOLDER, body)
+        ctx.post(AgentUri.parse(monitor), briefcase)
+
+    def on_arrive(self, ctx) -> None:
+        self._report(ctx, "arrived")
+
+    def on_depart(self, ctx, target: AgentUri) -> None:
+        self._report(ctx, "departing", {"to": str(target)})
+
+    def on_detach(self, ctx) -> None:
+        self._report(ctx, "finished",
+                     {"results": len(ctx.briefcase.folder(wellknown.RESULTS))})
+
+    # -- status queries ----------------------------------------------------------------
+
+    def _status(self, ctx) -> dict:
+        return {
+            "agent": f"{ctx.name}:{ctx.instance}",
+            "host": ctx.host_name,
+            "results_so_far": len(ctx.briefcase.folder(wellknown.RESULTS)),
+            "stops_remaining": len(ctx.briefcase.folder("ITINERARY")),
+            "t": ctx.now,
+        }
+
+    def on_receive(self, ctx, message: Message) -> Optional[Message]:
+        if message.briefcase.get_text(wellknown.OP) == OP_STATUS_QUERY:
+            self.queries_answered += 1
+            reply_to = message.briefcase.get_text(wellknown.REPLY_TO)
+            if reply_to is not None:
+                response = Briefcase()
+                response.put(wellknown.STATUS, "ok")
+                response.put(wellknown.RESULTS, self._status(ctx))
+                token = message.briefcase.get_text(wellknown.MEET_TOKEN)
+                if token is not None:
+                    response.put(wellknown.MEET_TOKEN, token)
+                ctx.post(AgentUri.parse(reply_to), response)
+            return None
+        self.messages_forwarded += 1
+        return message
+
+
+class MonitorLog:
+    """The monitoring tool: collects reports sent by MonitorWrappers.
+
+    Attach with :meth:`agent_main` as a py-ref agent, or wire
+    :meth:`deliver` straight into a registration for test use.
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def deliver(self, message: Message) -> bool:
+        element = message.briefcase.get_first(EVENT_FOLDER)
+        if element is not None:
+            self.events.append(json.loads(element.as_text()))
+        return True
+
+    def locations(self) -> list:
+        return [(e["t"], e["host"], e["event"]) for e in self.events]
+
+    def last_known_host(self, tag: Optional[str] = None) -> Optional[str]:
+        for event in reversed(self.events):
+            if tag is None or event.get("tag") == tag:
+                return event["host"]
+        return None

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.eventloop import Kernel
+from repro.sim.network import BANDWIDTH_100MBIT, LATENCY_LAN, Network
+from repro.sim.host import SimHost
+from repro.system.cluster import TaxCluster
+from repro.system.bootstrap import build_linkcheck_testbed
+from repro.web.site import SiteSpec
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def network(kernel):
+    return Network(kernel)
+
+
+@pytest.fixture
+def host(kernel, network):
+    return SimHost(kernel, network, "host.test")
+
+
+@pytest.fixture
+def pair_cluster():
+    """Two booted TAX nodes on a LAN."""
+    cluster = TaxCluster()
+    cluster.add_node("alpha.test")
+    cluster.add_node("beta.test")
+    cluster.network.link("alpha.test", "beta.test",
+                         latency=LATENCY_LAN, bandwidth=BANDWIDTH_100MBIT)
+    return cluster
+
+
+@pytest.fixture
+def single_cluster():
+    """One booted TAX node."""
+    cluster = TaxCluster()
+    cluster.add_node("solo.test")
+    return cluster
+
+
+def small_site_spec(**overrides):
+    """A small-but-real site spec for fast integration tests."""
+    defaults = dict(
+        host="www.cs.uit.no", n_pages=60, total_bytes=200_000,
+        external_hosts=("www.w3.org", "www.cornell.edu"),
+        dead_internal_fraction=0.05, external_link_fraction=0.10,
+        external_dead_fraction=0.3, seed=42)
+    defaults.update(overrides)
+    return SiteSpec(**defaults)
+
+
+@pytest.fixture
+def small_testbed():
+    """A linkcheck testbed over a small site (fast)."""
+    return build_linkcheck_testbed(spec=small_site_spec())

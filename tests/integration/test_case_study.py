@@ -1,0 +1,167 @@
+"""Integration: the full Figure-5 case study on a small testbed."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.core.uri import AgentUri
+from repro.mining.strategies import CrawlTask, run_mobile, run_stationary
+from repro.mining.webbot_agent import (
+    WEBBOT_PRINCIPAL,
+    build_webbot_program,
+    crawl_args,
+    make_mwwebbot,
+    query_status,
+)
+from repro.robot.report import DeadLinkReport
+from repro.system.bootstrap import build_linkcheck_testbed
+from tests.conftest import small_site_spec
+
+
+@pytest.fixture
+def testbed():
+    return build_linkcheck_testbed(spec=small_site_spec())
+
+
+def truth_urls(site):
+    """Ground-truth dead URLs as absolute strings."""
+    urls = set()
+    for _src, href in site.truth.dead_internal:
+        urls.add(f"http://{site.host}{href}")
+    for _src, href in site.truth.dead_external:
+        urls.add(href)
+    return urls
+
+
+class TestCaseStudyCorrectness:
+    def test_mobile_report_matches_ground_truth_subset(self, testbed):
+        site = testbed.site_of("www.cs.uit.no")
+        task = CrawlTask.for_site(site)
+        metrics = run_mobile(testbed, [task])
+        assert len(metrics.reports) == 1
+        report = DeadLinkReport.from_json(
+            __import__("json").dumps(metrics.reports[0]))
+        found = set(report.dead_urls())
+        truth = truth_urls(site)
+        assert found, "must find some dead links"
+        assert found <= truth, "no false positives"
+        # Depth-limited crawling may miss some; but coverage must be high
+        # with a generous depth.
+        assert len(found) >= len(truth) * 0.5
+
+    def test_prefix_keeps_robot_on_site(self, testbed):
+        site = testbed.site_of("www.cs.uit.no")
+        task = CrawlTask.for_site(site)
+        metrics = run_mobile(testbed, [task])
+        report = metrics.reports[0]
+        # Pages scanned can never exceed the site's own page count: the
+        # prefix constraint kept the robot from crawling external hosts.
+        assert 0 < report["pages_scanned"] <= site.n_pages
+
+    def test_mobile_and_stationary_reports_identical(self, testbed):
+        site = testbed.site_of("www.cs.uit.no")
+        task = CrawlTask.for_site(site)
+        stationary = run_stationary(testbed, [task])
+        mobile = run_mobile(testbed, [task])
+        s_report = stationary.reports[0]
+        m_report = mobile.reports[0]
+        assert s_report["pages_scanned"] == m_report["pages_scanned"]
+        s_urls = sorted(r["url"] for r in s_report["invalid"])
+        m_urls = sorted(r["url"] for r in m_report["invalid"])
+        assert s_urls == m_urls
+
+    def test_second_pass_covers_external_links(self, testbed):
+        site = testbed.site_of("www.cs.uit.no")
+        task = CrawlTask.for_site(site)
+        with_second = run_mobile(testbed, [task])
+        testbed2 = build_linkcheck_testbed(spec=small_site_spec())
+        task2 = CrawlTask.for_site(testbed2.site_of("www.cs.uit.no"),
+                                   check_rejected=False)
+        without_second = run_mobile(testbed2, [task2])
+        assert with_second.dead_links_found > \
+            without_second.dead_links_found
+
+    def test_report_arrives_by_briefcase_not_shared_memory(self, testbed):
+        """The result the client sees crossed the codec boundary."""
+        site = testbed.site_of("www.cs.uit.no")
+        task = CrawlTask.for_site(site)
+        metrics = run_mobile(testbed, [task])
+        # Remote bytes include at minimum the report + the agent + the
+        # program source.
+        assert metrics.remote_bytes > 10_000
+        assert metrics.remote_messages >= 4
+
+
+class TestMonitoring:
+    def test_rwwebbot_reports_location_trail(self, testbed):
+        site = testbed.site_of("www.cs.uit.no")
+        task = CrawlTask.for_site(site)
+        metrics = run_mobile(testbed, [task], monitor=True)
+        trail = [(e["event"], e["host"]) for e in metrics.monitor_events]
+        assert ("arrived", "client.cs.uit.no") in trail
+        assert ("departing", "client.cs.uit.no") in trail
+        assert ("arrived", "www.cs.uit.no") in trail
+
+    def test_status_query_during_crawl(self, testbed):
+        """The monitoring wrapper answers queries mid-computation."""
+        cluster = testbed.cluster
+        cluster.add_principal(WEBBOT_PRINCIPAL, trusted=True)
+        program = build_webbot_program(cluster.keychain)
+        site = testbed.site_of("www.cs.uit.no")
+        driver = testbed.client.driver(name="querier",
+                                       principal=WEBBOT_PRINCIPAL)
+        briefcase = make_mwwebbot(
+            program,
+            [(str(cluster.vm_uri("www.cs.uit.no")),
+              crawl_args(site.root_url, prefix=f"http://{site.host}/"))],
+            home_uri=str(driver.uri),
+            monitor_uri=str(driver.uri))
+
+        def scenario():
+            reply = yield from driver.meet(
+                cluster.vm_uri("client.cs.uit.no"), briefcase,
+                timeout=10_000)
+            assert reply.get_text(wellknown.STATUS) == "ok"
+            # Wait for the arrival report from the server host, then
+            # query the agent's status by name at that host.
+            while True:
+                message = yield from driver.recv(timeout=10_000)
+                event = message.briefcase.get_first("MONITOR-EVENT")
+                if event is None:
+                    continue
+                body = __import__("json").loads(event.as_text())
+                if body["event"] == "arrived" and \
+                        body["host"] == "www.cs.uit.no":
+                    agent = body["agent"]
+                    break
+            name, _colon, instance = agent.partition(":")
+            target = AgentUri(host="www.cs.uit.no", name=name,
+                              instance=instance)
+            status = yield from query_status(driver, target, timeout=10_000)
+            # Drain until the final report so the run completes cleanly.
+            while True:
+                message = yield from driver.recv(timeout=100_000)
+                if message.briefcase.has(wellknown.RESULTS):
+                    return status
+        status = testbed.cluster.run(scenario())
+        assert status["host"] == "www.cs.uit.no"
+        assert status["stops_remaining"] == 0
+
+
+class TestE1Shape:
+    def test_local_beats_remote_and_ships_less(self, testbed):
+        site = testbed.site_of("www.cs.uit.no")
+        task = CrawlTask.for_site(site)
+        stationary = run_stationary(testbed, [task])
+        mobile = run_mobile(testbed, [task])
+        assert mobile.elapsed_seconds < stationary.elapsed_seconds
+        assert mobile.remote_bytes < stationary.remote_bytes / 3
+
+    def test_agent_shipping_not_free(self, testbed):
+        """The mobile agent's bytes include the carried program."""
+        site = testbed.site_of("www.cs.uit.no")
+        task = CrawlTask.for_site(site)
+        mobile = run_mobile(testbed, [task])
+        from repro.mining.webbot_agent import build_webbot_program_source
+        assert mobile.remote_bytes > \
+            len(build_webbot_program_source().encode())

@@ -1,0 +1,78 @@
+"""Determinism: the whole stack is a pure function of its seeds.
+
+Every claim in EXPERIMENTS.md relies on this: two runs of the same
+experiment must produce byte-identical tables, and the paper-named API
+must drive the same machinery as the Pythonic one.
+"""
+
+from repro.bench.experiments import run_f3, run_f5
+from repro.mining.strategies import CrawlTask, run_mobile, run_stationary
+from repro.system.bootstrap import build_linkcheck_testbed
+from tests.conftest import small_site_spec
+
+
+class TestDeterminism:
+    def test_strategy_runs_are_bit_identical(self):
+        def one_run():
+            testbed = build_linkcheck_testbed(spec=small_site_spec())
+            task = CrawlTask.for_site(testbed.site_of("www.cs.uit.no"))
+            stationary = run_stationary(testbed, [task])
+            mobile = run_mobile(testbed, [task])
+            return (stationary.elapsed_seconds, stationary.remote_bytes,
+                    stationary.reports, mobile.elapsed_seconds,
+                    mobile.remote_bytes, mobile.reports)
+        assert one_run() == one_run()
+
+    def test_experiment_reports_are_identical(self):
+        a = run_f5(depths=(0, 2), round_trips=10)
+        b = run_f5(depths=(0, 2), round_trips=10)
+        assert a.rows == b.rows
+        assert a.extras == b.extras
+
+    def test_f3_chain_latencies_stable(self):
+        a = run_f3()
+        b = run_f3()
+        assert a.extras["latencies"] == b.extras["latencies"]
+
+
+class TestPaperApiCoverage:
+    def test_bc_send_bc_recv_go_spawn_names(self, pair_cluster):
+        """Exercise the remaining paper-named aliases end to end."""
+        from repro.agent import api
+        from repro.core.briefcase import Briefcase
+        from repro.core import wellknown
+        from repro.vm import loader
+
+        driver = pair_cluster.node("alpha.test").driver()
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(api_prober),
+                               agent_name="prober")
+        briefcase.put("HOME", str(driver.uri))
+
+        def scenario():
+            reply = yield from api.meet(
+                driver, pair_cluster.vm_uri("alpha.test"), briefcase,
+                timeout=60)
+            assert reply.get_text(wellknown.STATUS) == "ok"
+            seen = []
+            for _ in range(2):
+                message = yield from api.bc_recv(driver, timeout=60)
+                seen.append(message.briefcase.get_text("WHERE"))
+            return sorted(seen)
+        assert pair_cluster.run(scenario()) == ["alpha.test", "beta.test"]
+
+
+def api_prober(ctx, bc):
+    """Uses only the paper-named API: spawn a clone, both report home."""
+    from repro.agent import api
+    from repro.core.briefcase import Briefcase
+    role = bc.get_text("ROLE")
+    if role == "clone":
+        yield from api.bc_send(ctx, bc.get_text("HOME"),
+                               Briefcase({"WHERE": [ctx.host_name]}))
+        return "clone-done"
+    bc.put("ROLE", "clone")
+    yield from api.spawn(ctx, "tacoma://beta.test/vm_python")
+    yield from api.bc_send(ctx, bc.get_text("HOME"),
+                           Briefcase({"WHERE": [ctx.host_name]}))
+    return "parent-done"

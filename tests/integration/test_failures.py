@@ -1,0 +1,181 @@
+"""Integration: failure injection — partitions, kills, trust boundaries."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import CommTimeoutError
+from repro.core import wellknown
+from repro.core.uri import AgentUri
+from repro.mining.strategies import CrawlTask, run_mobile
+from repro.sim.network import BANDWIDTH_100MBIT, LATENCY_LAN
+from repro.system.bootstrap import build_campus_testbed
+from repro.system.cluster import TaxCluster
+from repro.vm import loader
+from tests.conftest import small_site_spec
+
+
+def idler_agent(ctx, bc):
+    yield from ctx.sleep(1_000_000)
+    return "overslept"
+
+
+def hopper_agent(ctx, bc):
+    """Tries each HOSTS entry; records outcomes; reports home."""
+    while True:
+        nxt = bc.folder("HOSTS").pop_first()
+        if nxt is None:
+            yield from ctx.send(bc.get_text("HOME"), bc.snapshot())
+            return "done"
+        try:
+            yield from ctx.go(nxt.as_text())
+        except Exception:
+            bc.append("MISSED", nxt.as_text())
+
+
+class TestPartitions:
+    @pytest.fixture
+    def world(self):
+        cluster = TaxCluster()
+        for name in ("a.test", "b.test", "c.test"):
+            cluster.add_node(name)
+        for pair in (("a.test", "b.test"), ("b.test", "c.test"),
+                     ("a.test", "c.test")):
+            cluster.network.link(*pair, latency=LATENCY_LAN,
+                                 bandwidth=BANDWIDTH_100MBIT)
+        return cluster
+
+    def test_partitioned_hop_skipped_rest_of_itinerary_continues(
+            self, world):
+        world.network.set_link_up("a.test", "b.test", False)
+        driver = world.node("a.test").driver()
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(hopper_agent),
+                               agent_name="hopper")
+        briefcase.folder("HOSTS").push_all(
+            ["tacoma://b.test/vm_python", "tacoma://c.test/vm_python"])
+        briefcase.put("HOME", str(driver.uri))
+
+        def scenario():
+            yield from driver.meet(world.vm_uri("a.test"), briefcase,
+                                   timeout=600)
+            final = yield from driver.recv(timeout=600)
+            return final.briefcase
+        result = world.run(scenario())
+        assert result.folder("MISSED").texts() == \
+            ["tacoma://b.test/vm_python"]
+
+    def test_partition_heals_and_agent_gets_through(self, world):
+        world.network.set_link_up("a.test", "b.test", False)
+        driver = world.node("a.test").driver()
+
+        def scenario():
+            with pytest.raises(Exception):
+                yield from driver.send(
+                    AgentUri.parse("tacoma://b.test/ag_fs"), Briefcase())
+            world.network.set_link_up("a.test", "b.test", True)
+            ok = yield from driver.send(
+                AgentUri.parse("tacoma://b.test/ag_fs"), Briefcase())
+            return ok
+        assert world.run(scenario()) is True
+
+    def test_meet_times_out_cleanly_when_reply_lost(self, world):
+        """Partition after the request leaves: the reply can't return."""
+        driver = world.node("a.test").driver()
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(idler_agent),
+                               agent_name="idler")
+
+        def scenario():
+            # Idler never replies to meets; the meet must time out.
+            reply = yield from driver.meet(world.vm_uri("b.test"),
+                                           briefcase, timeout=600)
+            idler_uri = reply.get_text("AGENT-URI")
+            with pytest.raises(CommTimeoutError):
+                yield from driver.meet(AgentUri.parse(idler_uri),
+                                       Briefcase(), timeout=5)
+            return "ok"
+        assert world.run(scenario()) == "ok"
+
+
+class TestKillDuringWork:
+    def test_killed_agent_never_reports(self, single_cluster):
+        node = single_cluster.node("solo.test")
+        driver = node.driver()
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(idler_agent),
+                               agent_name="victim")
+
+        def scenario():
+            reply = yield from driver.meet(
+                single_cluster.vm_uri("solo.test"), briefcase, timeout=60)
+            victim = AgentUri.parse(reply.get_text("AGENT-URI"))
+            admin = Briefcase()
+            admin.put(wellknown.OP, "kill")
+            admin.put(wellknown.ARGS, {"instance": victim.instance})
+            yield from driver.meet(AgentUri.parse("firewall"), admin,
+                                   timeout=60)
+            # The victim's registration is gone; messages to it queue and
+            # then expire rather than reaching anything.
+            ok = yield from driver.send(victim, Briefcase(),
+                                        queue_timeout=1)
+            yield single_cluster.kernel.timeout(3)
+            return ok, node.firewall.stats.expired
+        queued, expired = single_cluster.run(scenario())
+        assert queued is True and expired >= 1
+
+
+class TestTrustBoundaries:
+    def test_untrusted_program_cannot_run_at_remote_site(self):
+        """A webbot program signed by an untrusted principal is refused
+        by the remote ag_exec, and the failure comes home in FAILURES."""
+        from repro.system.bootstrap import build_linkcheck_testbed
+        from repro.mining.webbot_agent import (
+            build_webbot_program, crawl_args, make_mwwebbot)
+        testbed = build_linkcheck_testbed(spec=small_site_spec())
+        cluster = testbed.cluster
+        cluster.add_principal("shady", trusted=False)
+        program = build_webbot_program(cluster.keychain, "shady")
+        site = testbed.site_of("www.cs.uit.no")
+        driver = testbed.client.driver(name="home", principal="shady")
+        briefcase = make_mwwebbot(
+            program,
+            [(str(cluster.vm_uri("www.cs.uit.no")),
+              crawl_args(site.root_url))],
+            home_uri=str(driver.uri))
+
+        def scenario():
+            reply = yield from driver.meet(
+                cluster.vm_uri("client.cs.uit.no"), briefcase,
+                timeout=10_000)
+            assert reply.get_text(wellknown.STATUS) == "ok"
+            final = yield from driver.recv(timeout=100_000)
+            failures = [e.as_json()
+                        for e in final.briefcase.folder("FAILURES")]
+            results = [e.as_json()
+                       for e in final.briefcase.folder(wellknown.RESULTS)]
+            return failures, results
+        failures, results = testbed.cluster.run(scenario())
+        assert results == []
+        assert len(failures) == 1
+        assert failures[0]["phase"] == "exec"
+        assert "not trusted" in failures[0]["error"]
+
+
+class TestCampusPartialFailure:
+    def test_one_dead_server_does_not_sink_the_audit(self):
+        testbed = build_campus_testbed(n_servers=3, pages_per_server=12,
+                                       bytes_per_server=25_000)
+        # Partition one campus server from everything.
+        dead = testbed.servers[1].host.name
+        for other in testbed.cluster.network.hosts:
+            if other != dead:
+                try:
+                    testbed.cluster.network.set_link_up(dead, other, False)
+                except Exception:
+                    pass
+        tasks = [CrawlTask.for_site(testbed.sites[name])
+                 for name in sorted(testbed.sites)]
+        metrics = run_mobile(testbed, tasks, timeout=1_000_000)
+        assert len(metrics.reports) == 2
+        assert len(metrics.failures) == 1
+        assert dead in metrics.failures[0]["host"]

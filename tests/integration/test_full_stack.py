@@ -1,0 +1,124 @@
+"""The everything-at-once scenario: a monitored, checkpointed,
+locatable itinerant audit that survives being queried mid-flight.
+
+Exercises, in one run: the mobility wrapper (carried program, itinerary,
+condensation), the monitoring wrapper (location reports + status
+queries), the location wrapper (logical-name tracking across hops), the
+checkpoint wrapper (cabinet snapshots per arrival), ag_exec (signed
+binary execution), and the firewall plumbing underneath all of it.
+"""
+
+import json
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.core.uri import AgentUri
+from repro.mining.webbot_agent import (
+    WEBBOT_PRINCIPAL,
+    build_webbot_program,
+    crawl_args,
+    make_mwwebbot,
+)
+from repro.system.bootstrap import build_campus_testbed
+from repro.wrappers.fault import CheckpointWrapper
+from repro.wrappers.location import LocationWrapper, resolve
+from repro.wrappers.stack import WrapperSpec
+
+
+@pytest.fixture
+def world():
+    return build_campus_testbed(n_servers=3, pages_per_server=25,
+                                bytes_per_server=50_000)
+
+
+class TestFullStack:
+    def test_monitored_checkpointed_locatable_audit(self, world):
+        cluster = world.cluster
+        cluster.add_principal(WEBBOT_PRINCIPAL, trusted=True)
+        archs = sorted({n.host.arch for n in cluster.nodes.values()})
+        program = build_webbot_program(cluster.keychain,
+                                       WEBBOT_PRINCIPAL, archs=archs)
+        home_host = world.client.host.name
+        driver = world.client.driver(name="hq",
+                                     principal=WEBBOT_PRINCIPAL)
+        registry_uri = f"tacoma://{home_host}//ag_locator"
+        cabinet_uri = f"tacoma://{home_host}//ag_cabinet"
+
+        stops = [(str(cluster.vm_uri(name)),
+                  crawl_args(world.sites[name].root_url,
+                             prefix=f"http://{name}/", site=name))
+                 for name in sorted(world.sites)]
+        briefcase = make_mwwebbot(
+            program, stops, home_uri=str(driver.uri),
+            monitor_uri=str(driver.uri), agent_name="auditor",
+            extra_wrappers=[
+                WrapperSpec.by_ref(LocationWrapper,
+                                   {"registry": registry_uri,
+                                    "logical": "the-auditor"}),
+                WrapperSpec.by_ref(CheckpointWrapper,
+                                   {"cabinet": cabinet_uri,
+                                    "drawer": "auditor-ckpt",
+                                    "on": ["arrive"]}),
+            ])
+
+        def scenario():
+            reply = yield from driver.meet(
+                cluster.vm_uri(home_host), briefcase, timeout=1_000_000)
+            assert reply.get_text(wellknown.STATUS) == "ok", \
+                reply.get_text(wellknown.ERROR)
+
+            events = []
+            queried_at = None
+            reports = None
+            while reports is None:
+                message = yield from driver.recv(timeout=1_000_000)
+                inbound = message.briefcase
+                event_el = inbound.get_first("MONITOR-EVENT")
+                if event_el is not None:
+                    event = json.loads(event_el.as_text())
+                    events.append((event["event"], event["host"]))
+                    # At the first arrival on a campus server, find the
+                    # agent by LOGICAL NAME and ask it for status.
+                    if queried_at is None and \
+                            event["event"] == "arrived" and \
+                            event["host"] != home_host:
+                        where = yield from resolve(driver, registry_uri,
+                                                   "the-auditor",
+                                                   timeout=1_000_000)
+                        query = Briefcase()
+                        query.put(wellknown.OP, "status-query")
+                        status = yield from driver.meet(
+                            where, query, timeout=1_000_000)
+                        queried_at = status.get_json(
+                            wellknown.RESULTS)["host"]
+                    continue
+                if inbound.has(wellknown.RESULTS):
+                    reports = [e.as_json() for e in
+                               inbound.folder(wellknown.RESULTS)]
+            return events, queried_at, reports
+
+        events, queried_at, reports = cluster.run(scenario())
+
+        # Every site audited, dead links found.
+        assert len(reports) == 3
+        assert {r["site"] for r in reports} == set(world.sites)
+        assert sum(len(r["invalid"]) for r in reports) > 0
+
+        # Monitoring saw the full itinerary.
+        arrived = [host for event, host in events if event == "arrived"]
+        assert arrived[0] == home_host
+        assert set(arrived[1:]) == set(world.sites)
+
+        # The mid-flight status query resolved through the locator to a
+        # campus server, not the launch host.
+        assert queried_at in world.sites
+
+        # The cabinet holds a relaunchable checkpoint (code included).
+        cabinet = world.client.services["ag_cabinet"]
+        key = (WEBBOT_PRINCIPAL, "auditor-ckpt")
+        checkpoint = cabinet._drawers.get(key)
+        assert checkpoint is not None
+        assert checkpoint.has(wellknown.CODE)
+        assert checkpoint.has("PROGRAM")

@@ -1,0 +1,141 @@
+"""Integration: the Figure-4 hello-world itinerant agent, end to end."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.core.uri import AgentUri
+from repro.sim.network import BANDWIDTH_100MBIT, LATENCY_LAN
+from repro.system.cluster import TaxCluster
+from repro.vm import loader
+
+#: The Figure-4 agent, transliterated: greet, pop the next HOSTS entry,
+#: terminate if exhausted, otherwise go there (handling failure).
+HELLO_SOURCE = '''
+def hello_agent(ctx, bc):
+    bc.append("GREETINGS", "Hello world from " + ctx.host_name)
+    nxt = bc.folder("HOSTS").pop_first()
+    if nxt is None:
+        yield from ctx.send(bc.get_text("HOME"), bc.snapshot())
+        return "done"
+    try:
+        yield from ctx.go(nxt.as_text())
+    except Exception as exc:
+        bc.append("GREETINGS", "Unable to reach " + nxt.as_text())
+        yield from ctx.send(bc.get_text("HOME"), bc.snapshot())
+'''
+
+
+@pytest.fixture
+def triangle():
+    cluster = TaxCluster()
+    for name in ("a.test", "b.test", "c.test"):
+        cluster.add_node(name)
+    for pair in (("a.test", "b.test"), ("b.test", "c.test"),
+                 ("a.test", "c.test")):
+        cluster.network.link(*pair, latency=LATENCY_LAN,
+                             bandwidth=BANDWIDTH_100MBIT)
+    return cluster
+
+
+def launch_hello(cluster, hosts, payload_kind="marshal"):
+    source_payload = loader.pack_source(HELLO_SOURCE, "hello_agent")
+    if payload_kind == "marshal":
+        payload = loader.compile_source(source_payload)
+        vm = "vm_python"
+    else:
+        payload = source_payload
+        vm = "vm_source"
+    briefcase = Briefcase()
+    loader.install_payload(briefcase, payload, agent_name="hello")
+    briefcase.folder("HOSTS").push_all(hosts)
+    driver = cluster.node("a.test").driver()
+    briefcase.put("HOME", str(driver.uri))
+
+    def scenario():
+        reply = yield from driver.meet(cluster.vm_uri("a.test", vm),
+                                       briefcase, timeout=120)
+        assert reply.get_text(wellknown.STATUS) == "ok", \
+            reply.get_text(wellknown.ERROR)
+        final = yield from driver.recv(timeout=600)
+        return final.briefcase
+    return cluster.run(scenario())
+
+
+class TestHelloWorld:
+    def test_visits_every_host_in_order(self, triangle):
+        result = launch_hello(triangle, ["tacoma://b.test/vm_python",
+                                         "tacoma://c.test/vm_python"])
+        assert result.folder("GREETINGS").texts() == [
+            "Hello world from a.test",
+            "Hello world from b.test",
+            "Hello world from c.test",
+        ]
+
+    def test_itinerary_folder_consumed(self, triangle):
+        result = launch_hello(triangle, ["tacoma://b.test/vm_python"])
+        assert len(result.folder("HOSTS")) == 0
+
+    def test_unreachable_host_reported(self, triangle):
+        result = launch_hello(triangle, ["tacoma://ghost.test/vm_python"])
+        greetings = result.folder("GREETINGS").texts()
+        assert greetings[0] == "Hello world from a.test"
+        assert greetings[1].startswith("Unable to reach")
+
+    def test_source_agent_hops_through_compile_chains(self, triangle):
+        """vm_source at every hop: the agent re-compiles per landing pad
+        (its briefcase still carries the original source payload)."""
+        result = launch_hello(triangle,
+                              ["tacoma://b.test/vm_source",
+                               "tacoma://c.test/vm_source"],
+                              payload_kind="source")
+        assert result.folder("GREETINGS").texts() == [
+            "Hello world from a.test",
+            "Hello world from b.test",
+            "Hello world from c.test",
+        ]
+        # Each landing pad ran its own compile chain.
+        for host in ("b.test", "c.test"):
+            assert triangle.node(host).services["ag_cc"].requests_handled \
+                == 1
+
+    def test_message_sent_ahead_of_migration(self, triangle):
+        """Queueing for agents that 'have not yet arrived at the site'."""
+        driver = triangle.node("a.test").driver()
+        beta_driver = triangle.node("b.test").driver(name="beta-driver")
+
+        source = '''
+def patient_agent(ctx, bc):
+    message = yield from ctx.recv(timeout=60)
+    bc.append("GOT", message.briefcase.get_text("NOTE"))
+    yield from ctx.send(bc.get_text("HOME"), bc.snapshot())
+    return "ok"
+'''
+        payload = loader.compile_source(
+            loader.pack_source(source, "patient_agent"))
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, payload, agent_name="patient")
+        briefcase.put("HOME", str(driver.uri))
+
+        def scenario():
+            # The note is sent to b.test BEFORE the agent is launched
+            # there; the firewall queues it for the arrival.
+            note = Briefcase({"NOTE": ["waiting for you"]})
+            yield from beta_driver.send(
+                AgentUri.parse("tacoma://b.test/patient"), note,
+                queue_timeout=120)
+            yield triangle.kernel.timeout(5)
+            reply = yield from driver.meet(
+                triangle.vm_uri("b.test"), briefcase, timeout=120)
+            assert reply.get_text(wellknown.STATUS) == "ok"
+            final = yield from driver.recv(timeout=120)
+            return final.briefcase.folder("GOT").texts()
+        assert triangle.run(scenario()) == ["waiting for you"]
+
+    def test_agent_state_survives_hops_but_snapshots_are_isolated(
+            self, triangle):
+        result = launch_hello(triangle, ["tacoma://b.test/vm_python"])
+        # The returned briefcase is a snapshot: it still carries the
+        # agent's code (briefcases hold code + state + results).
+        assert result.has(wellknown.CODE)
+        assert result.get_text(wellknown.CODE_KIND) == loader.KIND_MARSHAL

@@ -1,0 +1,99 @@
+"""Scale smoke tests: bigger clusters and longer itineraries.
+
+These guard against accidental O(n^2) behaviour in the kernel, the
+firewall directory, or the registry — a 25-host tour must stay cheap in
+both real and simulated time.
+"""
+
+import time
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.sim.network import BANDWIDTH_100MBIT, LATENCY_LAN
+from repro.system.cluster import TaxCluster
+from repro.vm import loader
+
+N_HOSTS = 25
+
+
+def tour_agent(ctx, bc):
+    bc.append("SEEN", ctx.host_name)
+    nxt = bc.folder("HOSTS").pop_first()
+    if nxt is None:
+        yield from ctx.send(bc.get_text("HOME"), bc.snapshot())
+        return "done"
+    yield from ctx.go(nxt.as_text())
+
+
+@pytest.fixture(scope="module")
+def big_cluster():
+    cluster = TaxCluster()
+    names = [f"n{i:02d}.scale.test" for i in range(N_HOSTS)]
+    for name in names:
+        cluster.add_node(name)
+    # A hub-and-spoke topology plus a ring: sparse but connected.
+    for name in names[1:]:
+        cluster.network.link(names[0], name, latency=LATENCY_LAN,
+                             bandwidth=BANDWIDTH_100MBIT)
+    for a, b in zip(names, names[1:] + names[:1]):
+        cluster.network.link(a, b, latency=LATENCY_LAN,
+                             bandwidth=BANDWIDTH_100MBIT)
+    return cluster, names
+
+
+class TestScale:
+    def test_agent_tours_25_hosts(self, big_cluster):
+        cluster, names = big_cluster
+        driver = cluster.node(names[0]).driver(name="tour-home")
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(tour_agent),
+                               agent_name="tourist")
+        # Ring order keeps every hop on an existing link.
+        briefcase.folder("HOSTS").push_all(
+            [f"tacoma://{name}/vm_python" for name in names[1:]])
+        briefcase.put("HOME", str(driver.uri))
+
+        start_real = time.monotonic()
+
+        def scenario():
+            reply = yield from driver.meet(cluster.vm_uri(names[0]),
+                                           briefcase, timeout=600)
+            assert reply.get_text(wellknown.STATUS) == "ok"
+            final = yield from driver.recv(timeout=600)
+            return final.briefcase.folder("SEEN").texts()
+        seen = cluster.run(scenario())
+        elapsed_real = time.monotonic() - start_real
+        assert seen == names
+        assert elapsed_real < 10.0, "25-host tour should be fast in real time"
+        # Simulated: ~24 hops of small transfers on a LAN.
+        assert cluster.kernel.now < 5.0
+
+    def test_many_concurrent_meets(self, big_cluster):
+        """60 drivers meet the hub's ag_locator concurrently; every call
+        must complete and the registry stay consistent."""
+        cluster, names = big_cluster
+        hub = names[0]
+        locator = f"tacoma://{hub}//ag_locator"
+        drivers = [cluster.node(names[(i % (N_HOSTS - 1)) + 1]).driver(
+            name=f"bulk{i}") for i in range(60)]
+
+        def one(i, driver):
+            request = Briefcase()
+            request.put(wellknown.OP, "update")
+            request.put(wellknown.ARGS, {"name": f"svc{i}",
+                                         "uri": f"tacoma://{hub}//x:{i:x}"})
+            from repro.core.uri import AgentUri
+            reply = yield from driver.meet(AgentUri.parse(locator), request,
+                                           timeout=600)
+            return reply.get_text(wellknown.STATUS)
+
+        processes = [cluster.kernel.spawn(one(i, driver))
+                     for i, driver in enumerate(drivers)]
+
+        def waiter():
+            done = yield cluster.kernel.all_of(processes)
+            return list(done.values())
+        statuses = cluster.run(waiter())
+        assert statuses == ["ok"] * 60

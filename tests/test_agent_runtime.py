@@ -1,0 +1,313 @@
+"""Tests for mailboxes and the agent context (the TAX library)."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import (
+    CommTimeoutError,
+    MigrationError,
+    TaxError,
+)
+from repro.core.uri import AgentUri
+from repro.core import wellknown
+from repro.agent.mailbox import Mailbox
+from repro.firewall.message import Message, SenderInfo
+from repro.vm import loader
+
+
+def make_message(kernel, text="x", target="someone"):
+    briefcase = Briefcase({"BODY": [text]})
+    return Message(target=AgentUri.parse(target), briefcase=briefcase,
+                   sender=SenderInfo("tester", "host"))
+
+
+class TestMailbox:
+    def test_deliver_then_receive(self, kernel):
+        mailbox = Mailbox(kernel)
+        mailbox.deliver(make_message(kernel, "hello"))
+
+        def proc():
+            message = yield from mailbox.receive()
+            return message.briefcase.get_text("BODY")
+        assert kernel.run_process(proc()) == "hello"
+
+    def test_receive_blocks_until_delivery(self, kernel):
+        mailbox = Mailbox(kernel)
+
+        def consumer():
+            message = yield from mailbox.receive()
+            return kernel.now, message.briefcase.get_text("BODY")
+
+        def producer():
+            yield kernel.timeout(5)
+            mailbox.deliver(make_message(kernel, "late"))
+        process = kernel.spawn(consumer())
+        kernel.spawn(producer())
+        kernel.run()
+        assert process.value == (5, "late")
+
+    def test_fifo_order(self, kernel):
+        mailbox = Mailbox(kernel)
+        for text in ("1", "2", "3"):
+            mailbox.deliver(make_message(kernel, text))
+
+        def proc():
+            out = []
+            for _ in range(3):
+                message = yield from mailbox.receive()
+                out.append(message.briefcase.get_text("BODY"))
+            return out
+        assert kernel.run_process(proc()) == ["1", "2", "3"]
+
+    def test_match_skips_non_matching(self, kernel):
+        mailbox = Mailbox(kernel)
+        mailbox.deliver(make_message(kernel, "noise"))
+        mailbox.deliver(make_message(kernel, "signal"))
+
+        def proc():
+            message = yield from mailbox.receive(
+                match=lambda m: m.briefcase.get_text("BODY") == "signal")
+            leftover = yield from mailbox.receive()
+            return (message.briefcase.get_text("BODY"),
+                    leftover.briefcase.get_text("BODY"))
+        assert kernel.run_process(proc()) == ("signal", "noise")
+
+    def test_timeout_raises(self, kernel):
+        mailbox = Mailbox(kernel)
+
+        def proc():
+            with pytest.raises(CommTimeoutError):
+                yield from mailbox.receive(timeout=3)
+            return kernel.now
+        assert kernel.run_process(proc()) == 3
+
+    def test_late_message_queues_after_timeout(self, kernel):
+        mailbox = Mailbox(kernel)
+
+        def proc():
+            try:
+                yield from mailbox.receive(timeout=1)
+            except CommTimeoutError:
+                pass
+            mailbox.deliver(make_message(kernel, "late"))
+            message = yield from mailbox.receive()
+            return message.briefcase.get_text("BODY")
+        assert kernel.run_process(proc()) == "late"
+
+    def test_capacity_drops_excess(self, kernel):
+        mailbox = Mailbox(kernel, capacity=1)
+        assert mailbox.deliver(make_message(kernel))
+        assert not mailbox.deliver(make_message(kernel))
+        assert mailbox.dropped_count == 1
+
+    def test_waiting_receiver_bypasses_capacity(self, kernel):
+        mailbox = Mailbox(kernel, capacity=0)
+
+        def proc():
+            message = yield from mailbox.receive()
+            return message.briefcase.get_text("BODY")
+        process = kernel.spawn(proc())
+        kernel.run(max_events=1)
+        assert mailbox.deliver(make_message(kernel, "direct"))
+        kernel.run()
+        assert process.value == "direct"
+
+    def test_close_rejects_and_fails_waiters(self, kernel):
+        mailbox = Mailbox(kernel)
+
+        def proc():
+            with pytest.raises(CommTimeoutError, match="closed"):
+                yield from mailbox.receive()
+            return "ok"
+        process = kernel.spawn(proc())
+        kernel.run(max_events=2)
+        mailbox.close()
+        kernel.run()
+        assert process.value == "ok"
+        assert not mailbox.deliver(make_message(kernel))
+
+    def test_try_receive(self, kernel):
+        mailbox = Mailbox(kernel)
+        assert mailbox.try_receive() is None
+        mailbox.deliver(make_message(kernel, "x"))
+        assert mailbox.try_receive().briefcase.get_text("BODY") == "x"
+
+
+def echo_agent(ctx, bc):
+    """Replies to meets; stops on OP=stop."""
+    while True:
+        message = yield from ctx.recv()
+        if message.briefcase.get_text(wellknown.OP) == "stop":
+            return "stopped"
+        response = Briefcase({"ECHO": [message.briefcase.get_text("BODY")
+                                       or ""]})
+        yield from ctx.reply(message, response)
+
+
+def wanderer_agent(ctx, bc):
+    """Tries to reach a nonexistent host, reports the failure home."""
+    try:
+        yield from ctx.go("tacoma://nowhere.test/vm_python")
+    except MigrationError:
+        bc.append("LOG", "unable to reach")
+    yield from ctx.send(bc.get_text("HOME"), bc.snapshot())
+
+
+def forker_agent(ctx, bc):
+    """Spawns a clone on beta.test; both report home."""
+    if bc.get_text("ROLE") == "clone":
+        yield from ctx.send(bc.get_text("HOME"),
+                            Briefcase({"FROM": [ctx.host_name]}))
+        return "clone-done"
+    bc.put("ROLE", "clone")
+    clone_uri = yield from ctx.spawn_to("tacoma://beta.test/vm_python")
+    yield from ctx.send(bc.get_text("HOME"),
+                        Briefcase({"PARENT": [str(clone_uri)]}))
+    return "parent-done"
+
+
+class TestAgentContext:
+    def launch_echo(self, cluster, host="alpha.test"):
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(echo_agent),
+                               agent_name="echo")
+        driver = cluster.node(host).driver()
+
+        def scenario():
+            reply = yield from driver.meet(
+                cluster.vm_uri(host), briefcase, timeout=30)
+            assert reply.get_text(wellknown.STATUS) == "ok"
+            return reply.get_text("AGENT-URI")
+        uri = cluster.run(scenario())
+        return driver, uri
+
+    def test_meet_round_trip(self, pair_cluster):
+        driver, echo_uri = self.launch_echo(pair_cluster)
+
+        def scenario():
+            request = Briefcase({"BODY": ["ping"]})
+            reply = yield from driver.meet(echo_uri, request, timeout=30)
+            return reply.get_text("ECHO")
+        assert pair_cluster.run(scenario()) == "ping"
+
+    def test_meet_remote_agent(self, pair_cluster):
+        driver_beta = pair_cluster.node("beta.test").driver(name="d2")
+        _driver, echo_uri = self.launch_echo(pair_cluster, "alpha.test")
+
+        def scenario():
+            request = Briefcase({"BODY": ["cross-host"]})
+            reply = yield from driver_beta.meet(echo_uri, request,
+                                                timeout=30)
+            return reply.get_text("ECHO")
+        assert pair_cluster.run(scenario()) == "cross-host"
+
+    def test_meet_timeout(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            with pytest.raises(CommTimeoutError):
+                yield from driver.meet(AgentUri.parse("ghost"),
+                                       Briefcase(), timeout=2)
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+    def test_send_returns_true_when_queued(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            ok = yield from driver.send(AgentUri.parse("not-yet-here"),
+                                        Briefcase())
+            return ok
+        assert single_cluster.run(scenario()) is True
+
+    def test_send_to_unknown_host_raises(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            from repro.core.errors import AgentNotFoundError
+            with pytest.raises(AgentNotFoundError):
+                yield from driver.send(
+                    AgentUri.parse("tacoma://ghost.host/x"), Briefcase())
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+    def test_reply_without_reply_to_raises(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            with pytest.raises(TaxError, match="REPLY-TO"):
+                yield from driver.reply(Briefcase(), Briefcase())
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+    def test_call_service_error_surfaces(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            with pytest.raises(TaxError, match="unknown op"):
+                yield from driver.call_service("ag_fs", "no-such-op")
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+    def test_sleep_and_charge(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+        from repro.sim.ledger import CostLedger
+        ledger = CostLedger()
+        ledger.add_cpu(2.5)
+
+        def scenario():
+            yield from driver.sleep(1.0)
+            yield from driver.charge(ledger)
+            yield from driver.charge(0.5)
+            return single_cluster.kernel.now
+        assert single_cluster.run(scenario()) == pytest.approx(4.0)
+
+    def test_charge_rejects_negative(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            with pytest.raises(ValueError):
+                yield from driver.charge(-1.0)
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+    def test_go_to_unreachable_host_is_migration_error(self, pair_cluster):
+        driver = pair_cluster.node("alpha.test").driver()
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(wanderer_agent),
+                               agent_name="wanderer")
+        briefcase.put("HOME", str(driver.uri))
+
+        def scenario():
+            yield from driver.meet(pair_cluster.vm_uri("alpha.test"),
+                                   briefcase, timeout=30)
+            message = yield from driver.recv(timeout=30)
+            return message.briefcase.folder("LOG").texts()
+        assert pair_cluster.run(scenario()) == ["unable to reach"]
+
+    def test_spawn_to_clones_and_parent_continues(self, pair_cluster):
+        driver = pair_cluster.node("alpha.test").driver()
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(forker_agent),
+                               agent_name="forker")
+        briefcase.put("HOME", str(driver.uri))
+
+        def scenario():
+            yield from driver.meet(pair_cluster.vm_uri("alpha.test"),
+                                   briefcase, timeout=30)
+            seen = {}
+            for _ in range(2):
+                message = yield from driver.recv(timeout=30)
+                for folder in message.briefcase:
+                    seen[folder.name] = folder.texts()[0]
+            return seen
+        seen = pair_cluster.run(scenario())
+        assert seen["FROM"] == "beta.test"
+        assert "beta.test" in seen["PARENT"]
+
+    def test_is_pending_reply_tracking(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+        fake = Message(target=AgentUri.parse("x"),
+                       briefcase=Briefcase({wellknown.MEET_TOKEN: ["zzz"]}),
+                       sender=SenderInfo("s", "h"))
+        assert not driver.is_pending_reply(fake)

@@ -1,0 +1,121 @@
+"""Depth tests: kernel combinator edges, stream failure modes, and the
+compile-chain payload preservation."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import CommTimeoutError
+from repro.core import wellknown
+from repro.agent import streams
+from repro.vm import loader
+
+
+class TestCombinatorEdges:
+    def test_any_of_with_already_processed_event(self, kernel):
+        done = kernel.event()
+        done.succeed("early")
+        kernel.run()  # process it fully
+        pending = kernel.event()
+
+        def proc():
+            result = yield kernel.any_of([done, pending])
+            return result
+        result = kernel.run_process(proc())
+        assert result[done] == "early"
+
+    def test_all_of_with_mixed_readiness(self, kernel):
+        ready = kernel.event()
+        ready.succeed(1)
+
+        def proc():
+            later = kernel.timeout(5, value=2)
+            done = yield kernel.all_of([ready, later])
+            return sorted(done.values())
+        assert kernel.run_process(proc()) == [1, 2]
+        assert kernel.now == 5
+
+    def test_nested_any_of(self, kernel):
+        def proc():
+            inner = kernel.any_of([kernel.timeout(1, "a"),
+                                   kernel.timeout(9, "b")])
+            outer = yield kernel.any_of([inner, kernel.timeout(5, "c")])
+            return list(outer)[0].value
+        value = kernel.run_process(proc())
+        assert list(value.values()) == ["a"]
+
+    def test_process_chain_of_spawns(self, kernel):
+        def leaf():
+            yield kernel.timeout(1)
+            return 1
+
+        def middle():
+            value = yield kernel.spawn(leaf())
+            return value + 1
+
+        def root():
+            value = yield kernel.spawn(middle())
+            return value + 1
+        assert kernel.run_process(root()) == 3
+
+
+class TestStreamFailures:
+    def test_send_stream_times_out_without_receiver(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+        ghost = "tacoma://solo.test//nobody-listens"
+
+        def scenario():
+            with pytest.raises(CommTimeoutError):
+                yield from streams.send_stream(driver, ghost, b"data",
+                                               timeout=3)
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+    def test_recv_stream_times_out_without_sender(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            with pytest.raises(CommTimeoutError):
+                yield from streams.recv_stream(driver, timeout=3)
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+
+def orig_code_probe(ctx, bc):
+    yield from ctx.send(bc.get_text("HOME"),
+                        Briefcase({"KIND": [bc.get_text("CODE-KIND")]}))
+    return "ok"
+
+
+class TestCodeOrigPreservation:
+    SOURCE = (
+        "def orig_code_probe(ctx, bc):\n"
+        "    out = bc.snapshot()\n"
+        "    out.put('KIND', bc.get_text('CODE-KIND'))\n"
+        "    yield from ctx.send(bc.get_text('HOME'), out)\n"
+        "    return 'ok'\n")
+
+    def test_agent_launched_via_chain_still_carries_source(
+            self, single_cluster):
+        """After the vm_source -> vm_bin chain, the *running* agent's
+        briefcase must hold the original py-source payload, not the
+        site-local binary (Figure 3 repeats per landing pad)."""
+        driver = single_cluster.node("solo.test").driver()
+        briefcase = Briefcase()
+        loader.install_payload(
+            briefcase, loader.pack_source(self.SOURCE, "orig_code_probe"),
+            agent_name="probe")
+        briefcase.put("HOME", str(driver.uri))
+
+        def scenario():
+            reply = yield from driver.meet(
+                single_cluster.vm_uri("solo.test", "vm_source"),
+                briefcase, timeout=120)
+            assert reply.get_text(wellknown.STATUS) == "ok", \
+                reply.get_text(wellknown.ERROR)
+            message = yield from driver.recv(timeout=120)
+            inbound = message.briefcase
+            return (inbound.get_text("KIND"),
+                    inbound.has(wellknown.CODE_ORIG))
+        kind, has_orig = single_cluster.run(scenario())
+        assert kind == loader.KIND_SOURCE
+        assert not has_orig  # the stash folder is cleaned up at launch

@@ -1,0 +1,99 @@
+"""Last-mile combinations: object agents with wrapper stacks, and
+crawl determinism."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.agent.objagent import ObjectAgent, launch_briefcase
+from repro.wrappers.monitor import MonitorLog, MonitorWrapper
+from repro.wrappers.stack import WrapperSpec, install_wrappers
+
+
+class RoamingCounter(ObjectAgent):
+    """Pickled agent that hops once and reports its attribute state."""
+
+    def __init__(self):
+        self.hops = 0
+
+    def run(self, ctx, bc):
+        self.hops += 1
+        nxt = bc.folder("HOSTS").pop_first()
+        if nxt is None:
+            yield from ctx.send(bc.get_text("HOME"),
+                                Briefcase({"HOPS": [str(self.hops)]}))
+            return "done"
+        yield from self.go_with_state(ctx, nxt.as_text())
+
+
+class TestObjectAgentWithWrappers:
+    def test_monitor_wrapper_travels_with_pickled_agent(self,
+                                                        pair_cluster):
+        """Wrapper stacks must survive vm_pickle migration exactly as
+        they do for code agents: the monitor reports from both hosts."""
+        for node in pair_cluster.nodes.values():
+            vm = node.vms["vm_pickle"]
+            vm.allowed_prefixes = vm.allowed_prefixes + ("tests.",)
+        node_a = pair_cluster.node("alpha.test")
+        monitor_log = MonitorLog()
+        node_a.firewall.register_agent(
+            name="obj-monitor", principal="system", vm_name="vm_python",
+            deliver_fn=monitor_log.deliver)
+
+        driver = node_a.driver()
+        briefcase = launch_briefcase(RoamingCounter(), agent_name="roamer")
+        briefcase.folder("HOSTS").push("tacoma://beta.test/vm_pickle")
+        briefcase.put("HOME", str(driver.uri))
+        install_wrappers(briefcase, [WrapperSpec.by_ref(
+            MonitorWrapper,
+            {"monitor": "tacoma://alpha.test//obj-monitor",
+             "tag": "roamer"})])
+
+        def scenario():
+            reply = yield from driver.meet(
+                pair_cluster.vm_uri("alpha.test", "vm_pickle"),
+                briefcase, timeout=60)
+            assert reply.get_text(wellknown.STATUS) == "ok", \
+                reply.get_text(wellknown.ERROR)
+            message = yield from driver.recv(timeout=60)
+            # Drain in-flight async monitor posts before reading the log.
+            yield pair_cluster.kernel.timeout(1)
+            return message.briefcase.get_text("HOPS")
+        assert pair_cluster.run(scenario()) == "2"
+        arrived = [host for _t, host, event in monitor_log.locations()
+                   if event == "arrived"]
+        assert arrived == ["alpha.test", "beta.test"]
+        assert monitor_log.last_known_host("roamer") == "beta.test"
+
+
+class TestCrawlDeterminism:
+    def test_same_site_same_result(self, small_testbed):
+        from repro.robot.webbot import Webbot, WebbotConfig
+        from repro.sim.ledger import CostLedger
+        from repro.web.client import SimHttpClient
+        site = small_testbed.site_of("www.cs.uit.no")
+
+        def crawl():
+            http = SimHttpClient(small_testbed.server.host,
+                                 small_testbed.network,
+                                 small_testbed.deployment, CostLedger())
+            config = WebbotConfig(site.root_url,
+                                  prefix=f"http://{site.host}/",
+                                  max_depth=12)
+            return Webbot(config, http).run()
+        assert crawl() == crawl()
+
+    def test_checkbot_deterministic_too(self, small_testbed):
+        from repro.robot.checkbot import Checkbot, CheckbotConfig
+        from repro.sim.ledger import CostLedger
+        from repro.web.client import SimHttpClient
+        site = small_testbed.site_of("www.cs.uit.no")
+
+        def crawl():
+            http = SimHttpClient(small_testbed.server.host,
+                                 small_testbed.network,
+                                 small_testbed.deployment, CostLedger())
+            config = CheckbotConfig([site.root_url],
+                                    allowed_hosts=[site.host])
+            return Checkbot(config, http).run()
+        assert crawl() == crawl()

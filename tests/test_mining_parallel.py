@@ -1,0 +1,56 @@
+"""Tests for the fork-join parallel audit."""
+
+import pytest
+
+from repro.mining.parallel import run_parallel_mobile
+from repro.mining.strategies import CrawlTask, run_mobile
+from repro.system.bootstrap import build_campus_testbed
+
+
+def campus(n=3):
+    return build_campus_testbed(n_servers=n, pages_per_server=20,
+                                bytes_per_server=40_000)
+
+
+def tasks_for(testbed):
+    return [CrawlTask.for_site(testbed.sites[name])
+            for name in sorted(testbed.sites)]
+
+
+class TestParallelAudit:
+    def test_all_servers_report(self):
+        testbed = campus()
+        metrics = run_parallel_mobile(testbed, tasks_for(testbed))
+        assert len(metrics.reports) == 3
+        assert {r["site"] for r in metrics.reports} == set(testbed.sites)
+        assert metrics.failures == []
+
+    def test_findings_match_sequential(self):
+        testbed = campus()
+        parallel = run_parallel_mobile(testbed, tasks_for(testbed))
+        testbed2 = campus()
+        sequential = run_mobile(testbed2, tasks_for(testbed2))
+        assert parallel.dead_links_found == sequential.dead_links_found
+        assert parallel.pages_scanned == sequential.pages_scanned
+
+    def test_parallel_faster_than_sequential(self):
+        testbed = campus()
+        parallel = run_parallel_mobile(testbed, tasks_for(testbed))
+        testbed2 = campus()
+        sequential = run_mobile(testbed2, tasks_for(testbed2))
+        assert parallel.elapsed_seconds < sequential.elapsed_seconds
+
+    def test_unreachable_server_reported_as_spawn_failure(self):
+        testbed = campus()
+        dead = testbed.servers[0].host.name
+        for other in list(testbed.cluster.network.hosts):
+            if other != dead:
+                try:
+                    testbed.cluster.network.set_link_up(dead, other, False)
+                except Exception:
+                    pass
+        metrics = run_parallel_mobile(testbed, tasks_for(testbed))
+        assert len(metrics.reports) == 2
+        assert len(metrics.failures) == 1
+        assert metrics.failures[0]["phase"] == "spawn"
+        assert dead in metrics.failures[0]["host"]

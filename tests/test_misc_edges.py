@@ -1,0 +1,266 @@
+"""Edge-case tests across modules: launch failures, defaults, guards."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import codec, wellknown
+from repro.core.errors import CodecError, TaxError
+from repro.core.uri import AgentUri
+from repro.vm import loader
+from repro.wrappers import mobility
+from repro.wrappers.base import AgentWrapper
+from repro.wrappers.stack import WrapperStack
+
+
+def crashing_agent(ctx, bc):
+    yield from ctx.sleep(0.1)
+    raise TaxError("deliberate failure")
+
+
+def named_by_entry(ctx, bc):
+    yield from ctx.send(bc.get_text("HOME"),
+                        Briefcase({"MY-NAME": [ctx.name]}))
+    return "ok"
+
+
+class TestVmBaseEdges:
+    def test_crashing_agent_is_unregistered_and_logged(self,
+                                                       single_cluster):
+        node = single_cluster.node("solo.test")
+        driver = node.driver()
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(crashing_agent),
+                               agent_name="crasher")
+
+        def scenario():
+            reply = yield from driver.meet(
+                single_cluster.vm_uri("solo.test"), briefcase, timeout=60)
+            assert reply.get_text(wellknown.STATUS) == "ok"
+            yield single_cluster.kernel.timeout(5)
+            return reply.get_text("AGENT-URI")
+        uri = AgentUri.parse(single_cluster.run(scenario()))
+        assert node.firewall.registry.by_instance(uri.instance) is None
+        assert any("agent failed" in text
+                   for _t, text in node.firewall.events)
+
+    def test_agent_name_defaults_to_entry_name(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(named_by_entry))
+        briefcase.drop(wellknown.AGENT_NAME)
+        briefcase.put("HOME", str(driver.uri))
+
+        def scenario():
+            yield from driver.meet(single_cluster.vm_uri("solo.test"),
+                                   briefcase, timeout=60)
+            message = yield from driver.recv(timeout=60)
+            return message.briefcase.get_text("MY-NAME")
+        assert single_cluster.run(scenario()) == "named_by_entry"
+
+    def test_launch_policy_denial_nacks(self, single_cluster):
+        from repro.firewall.policy import OP_LAUNCH
+        node = single_cluster.node("solo.test")
+        node.firewall.policy.deny("pariah", OP_LAUNCH)
+        driver = node.driver(name="pariah-drv", principal="pariah")
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(named_by_entry))
+
+        def scenario():
+            reply = yield from driver.meet(
+                single_cluster.vm_uri("solo.test"), briefcase, timeout=60)
+            return (reply.get_text(wellknown.STATUS),
+                    reply.get_text(wellknown.ERROR))
+        status, error = single_cluster.run(scenario())
+        assert status == "error" and "policy denies" in error
+
+    def test_missing_payload_nacks(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            reply = yield from driver.meet(
+                single_cluster.vm_uri("solo.test"),
+                Briefcase({"JUNK": ["no code here"]}), timeout=60)
+            return reply.get_text(wellknown.STATUS)
+        assert single_cluster.run(scenario()) == "error"
+
+
+class TestContextEdges:
+    def test_post_logs_failures_instead_of_raising(self, single_cluster):
+        node = single_cluster.node("solo.test")
+        driver = node.driver()
+
+        def scenario():
+            process = driver.post(
+                AgentUri.parse("tacoma://no.such.host/x"), Briefcase())
+            yield single_cluster.kernel.timeout(1)
+            return process.triggered
+        assert single_cluster.run(scenario()) is True
+        assert any("async send" in text and "failed" in text
+                   for _t, text in node.firewall.events)
+
+    def test_string_targets_accepted_everywhere(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+
+        def scenario():
+            request = Briefcase()
+            request.put(wellknown.OP, "list")
+            reply = yield from driver.meet("firewall", request, timeout=30)
+            return reply.get_text(wellknown.STATUS)
+        assert single_cluster.run(scenario()) == "ok"
+
+    def test_meet_raises_when_wrapper_swallows_send(self, single_cluster):
+        class Muzzle(AgentWrapper):
+            def on_send(self, ctx, target, briefcase):
+                return None
+        driver = single_cluster.node("solo.test").driver()
+        driver.wrappers = WrapperStack([Muzzle()])
+        from repro.core.errors import CommTimeoutError
+
+        def scenario():
+            with pytest.raises(CommTimeoutError, match="dropped"):
+                yield from driver.meet("firewall", Briefcase(), timeout=5)
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+
+class TestServiceEdges:
+    def test_activate_style_request_gets_no_reply(self, single_cluster):
+        """A request without REPLY-TO is processed but never answered."""
+        node = single_cluster.node("solo.test")
+        service = node.services["ag_locator"]
+        driver = node.driver()
+        handled_before = service.requests_handled
+
+        def scenario():
+            request = Briefcase()
+            request.put(wellknown.OP, "update")
+            request.put(wellknown.ARGS, {"name": "fire-and-forget",
+                                         "uri": "tacoma://solo.test//x"})
+            yield from driver.send(AgentUri.parse("ag_locator"), request)
+            yield single_cluster.kernel.timeout(1)
+            from repro.core.errors import CommTimeoutError
+            with pytest.raises(CommTimeoutError):
+                yield from driver.recv(timeout=2)
+            return service.requests_handled
+        assert single_cluster.run(scenario()) == handled_before + 1
+
+
+class TestMobilityUnits:
+    def test_program_round_trip(self):
+        briefcase = Briefcase()
+        payload = loader.pack_source("def f(a, e):\n    return 1\n", "f")
+        mobility.install_program(briefcase, payload)
+        assert mobility.read_program(briefcase) == payload
+
+    def test_missing_program_raises(self):
+        with pytest.raises(TaxError, match="PROGRAM"):
+            mobility.read_program(Briefcase())
+
+    def test_make_task_briefcase_shape(self):
+        payload = loader.pack_source("def f(a, e):\n    return 1\n", "f")
+        briefcase = mobility.make_task_briefcase(
+            payload, [{"vm": "tacoma://h/vm_python", "args": {"k": 1}}],
+            home_uri="tacoma://c//home:1")
+        assert briefcase.get_text(wellknown.AGENT_NAME) == "mw_agent"
+        assert len(briefcase.folder(mobility.ITINERARY)) == 1
+        assert briefcase.get_text(mobility.HOME) == "tacoma://c//home:1"
+        stop = briefcase.folder(mobility.ITINERARY).first().as_json()
+        assert stop == {"args": {"k": 1}, "vm": "tacoma://h/vm_python"}
+
+    def test_postprocess_identity_without_postprocessor(self):
+        result = mobility._postprocess(Briefcase(), {"x": 1}, {})
+        assert result == {"x": 1}
+
+
+class TestCodecGuards:
+    def test_implausible_element_count(self):
+        import struct
+        folder = (struct.pack(">H", 1) + b"F" +
+                  struct.pack(">I", codec.MAX_ELEMENTS + 1))
+        wire = (codec.MAGIC + struct.pack(">B", codec.VERSION) +
+                struct.pack(">I", 1) + folder)
+        with pytest.raises(CodecError, match="implausible element count"):
+            codec.decode(wire)
+
+
+class TestNetworkDefaults:
+    def test_partial_defaults_do_not_create_links(self, kernel):
+        from repro.sim.network import Network, NoRouteError
+        net = Network(kernel, default_latency=0.01)  # no bandwidth
+        net.add_host("x")
+        net.add_host("y")
+        with pytest.raises(NoRouteError):
+            net.link_between("x", "y")
+
+
+class TestBootstrapDetails:
+    def test_external_hosts_reachable_from_both_sides(self, small_testbed):
+        network = small_testbed.network
+        for ext in ("www.w3.org", "www.cornell.edu"):
+            assert network.transfer_time("client.cs.uit.no", ext, 0) > 0
+            assert network.transfer_time("www.cs.uit.no", ext, 0) > 0
+
+    def test_testbed_properties(self, small_testbed):
+        assert small_testbed.kernel is small_testbed.cluster.kernel
+        assert small_testbed.server in small_testbed.servers
+        assert small_testbed.site_of("www.cs.uit.no").host == \
+            "www.cs.uit.no"
+
+
+class TestWebbotConfigPassthrough:
+    def test_run_webbot_honors_all_args(self):
+        fetched = []
+
+        class Resp:
+            status = 200
+            ok = True
+            body = "<html></html>"
+            location = None
+            content_type = "text/html"
+            age_days = None
+
+        class Http:
+            def get(self, url):
+                fetched.append(url)
+                return Resp()
+        from repro.robot.webbot import run_webbot
+
+        class Env:
+            http = Http()
+        result = run_webbot({"start_url": "http://s/",
+                             "honor_robots": False,
+                             "max_redirects": 0,
+                             "max_pages": 5,
+                             "max_depth": 2}, Env)
+        assert result["max_depth"] == 2
+        assert "http://s/robots.txt" not in fetched
+
+
+class TestHopGuard:
+    def test_looping_message_rejected(self, pair_cluster):
+        from repro.firewall.message import MAX_HOPS, Message, SenderInfo
+        alpha = pair_cluster.node("alpha.test")
+        message = Message(
+            target=AgentUri.parse("tacoma://beta.test/ag_fs"),
+            briefcase=Briefcase(),
+            sender=SenderInfo("system", "alpha.test"),
+            hops=MAX_HOPS)
+
+        def scenario():
+            ok = yield from alpha.firewall.submit(message)
+            return ok
+        assert pair_cluster.run(scenario()) is False
+        assert any("looping" in text
+                   for _t, text in alpha.firewall.events)
+
+
+class TestRunnerJson:
+    def test_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "results.json"
+        assert main(["experiments", "F5", "--json", str(out)]) == 0
+        import json
+        data = json.loads(out.read_text())
+        assert data["experiments"][0]["experiment"] == "F5"
+        assert data["experiments"][0]["reproduced"] is True
+        assert data["experiments"][0]["rows"]

@@ -1,0 +1,176 @@
+"""Tests for the second robot (Checkbot) and its wrapper glue."""
+
+import pytest
+
+from repro.robot.checkbot import (
+    Checkbot,
+    CheckbotConfig,
+    absolutize,
+    find_hrefs,
+    host_of,
+    run_checkbot,
+)
+from repro.mining.generality import condense_checkbot_result
+
+
+class FakeResponse:
+    def __init__(self, status, body="", location=None,
+                 content_type="text/html"):
+        self.status = status
+        self.body = body
+        self.location = location
+        self.content_type = content_type
+        self.ok = 200 <= status < 300
+
+
+class FakeWeb:
+    def __init__(self, pages=None, redirects=None):
+        self.pages = pages or {}
+        self.redirects = redirects or {}
+        self.log = []
+
+    def _answer(self, url, with_body):
+        if url in self.redirects:
+            return FakeResponse(301, location=self.redirects[url])
+        if url in self.pages:
+            return FakeResponse(200,
+                                self.pages[url] if with_body else "")
+        return FakeResponse(404)
+
+    def get(self, url):
+        self.log.append(("GET", url))
+        return self._answer(url, True)
+
+    def head(self, url):
+        self.log.append(("HEAD", url))
+        return self._answer(url, False)
+
+
+def page(*hrefs):
+    return "".join(f'<a href="{h}">x</a>' for h in hrefs)
+
+
+class TestCheckbotHelpers:
+    def test_find_hrefs_ignores_src(self):
+        html = '<a href="/a">x</a><img src="/i.png">'
+        assert find_hrefs(html) == ["/a"]
+
+    @pytest.mark.parametrize("base,ref,expected", [
+        ("http://h/d/p.html", "q.html", "http://h/d/q.html"),
+        ("http://h/d/p.html", "/top", "http://h/top"),
+        ("http://h/d/p.html", "http://x/y", "http://x/y"),
+        ("http://h/d/p.html", "../up", "http://h/up"),
+        ("http://h/d/p.html", "mailto:a@b", None),
+        ("http://h/d/p.html", "#frag", None),
+    ])
+    def test_absolutize(self, base, ref, expected):
+        assert absolutize(base, ref) == expected
+
+    def test_host_of(self):
+        assert host_of("http://WWW.X.COM/path") == "www.x.com"
+        assert host_of("ftp://x/") is None
+
+    def test_config_defaults_hosts_from_starts(self):
+        config = CheckbotConfig(["http://a/x", "http://b/y"])
+        assert config.allowed_hosts == ["a", "b"]
+
+    def test_config_requires_start(self):
+        with pytest.raises(ValueError):
+            CheckbotConfig([])
+
+
+class TestCheckbotCrawl:
+    def world(self):
+        return FakeWeb({
+            "http://s/index.html": page("/a.html", "http://ext/alive",
+                                        "http://ext/dead"),
+            "http://s/a.html": page("/missing.html", "/index.html"),
+            "http://ext/alive": page(),
+        })
+
+    def run(self, web=None, **kwargs):
+        web = web or self.world()
+        config = CheckbotConfig(["http://s/index.html"],
+                                allowed_hosts=["s"], **kwargs)
+        return Checkbot(config, web).run(), web
+
+    def test_breadth_first_order(self):
+        web = FakeWeb({
+            "http://s/index.html": page("/a.html", "/b.html"),
+            "http://s/a.html": page("/a-child.html"),
+            "http://s/b.html": page(),
+            "http://s/a-child.html": page(),
+        })
+        _result, web = self.run(web)
+        gets = [u for verb, u in web.log if verb == "GET"]
+        # BFS: /b.html before /a.html's child.
+        assert gets.index("http://s/b.html") < \
+            gets.index("http://s/a-child.html")
+
+    def test_internal_dead_found_via_get(self):
+        result, _web = self.run()
+        broken = {r["href"]: r for r in result["broken"]}
+        assert "http://s/missing.html" in broken
+        assert broken["http://s/missing.html"]["code"] == 404
+        assert broken["http://s/missing.html"]["parent"] == \
+            "http://s/a.html"
+
+    def test_offsite_validated_inline_not_crawled(self):
+        result, web = self.run()
+        assert ("HEAD", "http://ext/dead") in web.log
+        assert ("GET", "http://ext/alive") not in web.log
+        broken = {r["href"] for r in result["broken"]}
+        assert "http://ext/dead" in broken
+        assert "http://ext/alive" not in broken
+
+    def test_offsite_head_cached(self):
+        web = FakeWeb({
+            "http://s/index.html": page("/a.html", "http://ext/dead"),
+            "http://s/a.html": page("http://ext/dead"),
+        })
+        self.run(web)
+        heads = [u for verb, u in web.log if u == "http://ext/dead"]
+        assert len(heads) == 1
+
+    def test_no_page_visited_twice(self):
+        _result, web = self.run()
+        gets = [u for verb, u in web.log if verb == "GET"]
+        assert len(gets) == len(set(gets))
+
+    def test_redirects_followed(self):
+        web = FakeWeb(
+            pages={"http://s/index.html": page("/moved"),
+                   "http://s/new.html": page()},
+            redirects={"http://s/moved": "http://s/new.html"})
+        result, _web = self.run(web)
+        assert result["broken"] == []
+        assert result["ok"] == 2
+
+    def test_max_pages(self):
+        result, _web = self.run(max_pages=1)
+        assert result["checked"] == 1
+
+    def test_entry_point(self):
+        class Env:
+            http = self.world()
+        result = run_checkbot({"start_urls": ["http://s/index.html"],
+                               "allowed_hosts": ["s"]}, Env)
+        assert result["version"].startswith("repro-checkbot")
+        assert result["checked"] >= 2
+
+
+class TestCondenser:
+    def test_maps_to_common_report(self):
+        result = {
+            "ok": 7, "bytes_fetched": 1000, "checked": 9,
+            "offsite_checked": 3,
+            "broken": [{"href": "http://s/x", "parent": "http://s/",
+                        "code": 404}],
+        }
+        condensed = condense_checkbot_result(result, {"site": "s"})
+        assert condensed["site"] == "s"
+        assert condensed["pages_scanned"] == 7
+        assert condensed["invalid"] == [{
+            "url": "http://s/x", "referrer": "http://s/",
+            "reason": "http", "status": 404}]
+        assert condensed["links_seen"] == 12

@@ -1,0 +1,289 @@
+"""Tests for robots.txt compliance and redirect handling."""
+
+import pytest
+
+from repro.robot.linkcheck import probe_url, validate_rejected
+from repro.robot.webbot import (
+    REASON_REDIRECT_LIMIT,
+    REASON_ROBOTS,
+    Webbot,
+    WebbotConfig,
+    parse_robots_txt,
+)
+from repro.sim.host import SimHost
+from repro.sim.ledger import CostLedger
+from repro.web.client import SimHttpClient
+from repro.web.server import HttpRequest, WebDeployment, WebServer
+from repro.web.site import SiteSpec, generate_site
+
+
+class FakeResponse:
+    def __init__(self, status, body="", location=None):
+        self.status = status
+        self.body = body
+        self.location = location
+        self.ok = 200 <= status < 300
+
+
+class FakeWeb:
+    """Pages + redirects + robots, for driving the robot directly."""
+
+    def __init__(self, pages=None, redirects=None, robots=None):
+        self.pages = pages or {}
+        self.redirects = redirects or {}
+        self.robots = robots
+        self.log = []
+
+    def _answer(self, url, with_body):
+        if url.endswith("/robots.txt"):
+            if self.robots is None:
+                return FakeResponse(404)
+            return FakeResponse(200, self.robots if with_body else "")
+        if url in self.redirects:
+            return FakeResponse(301, location=self.redirects[url])
+        if url in self.pages:
+            return FakeResponse(200,
+                                self.pages[url] if with_body else "")
+        return FakeResponse(404)
+
+    def get(self, url):
+        self.log.append(("GET", url))
+        return self._answer(url, with_body=True)
+
+    def head(self, url):
+        self.log.append(("HEAD", url))
+        return self._answer(url, with_body=False)
+
+
+def page(*hrefs):
+    items = "".join(f'<a href="{h}">x</a>' for h in hrefs)
+    return f"<html><body>{items}</body></html>"
+
+
+class TestRobotsTxtParsing:
+    def test_star_section_collected(self):
+        text = ("User-agent: *\n"
+                "Disallow: /private\n"
+                "Disallow: /tmp/\n")
+        assert parse_robots_txt(text) == ["/private", "/tmp/"]
+
+    def test_other_agents_ignored(self):
+        text = ("User-agent: GoogleBot\n"
+                "Disallow: /only-for-google\n"
+                "User-agent: *\n"
+                "Disallow: /everyone\n")
+        assert parse_robots_txt(text) == ["/everyone"]
+
+    def test_comments_and_blank_lines(self):
+        text = ("# a comment\n\n"
+                "User-agent: *   # inline\n"
+                "Disallow: /x\n")
+        assert parse_robots_txt(text) == ["/x"]
+
+    def test_empty_disallow_means_allow_all(self):
+        assert parse_robots_txt("User-agent: *\nDisallow:\n") == []
+
+    def test_garbage_tolerated(self):
+        assert parse_robots_txt("!!! not robots at all") == []
+
+
+class TestRobotsCompliance:
+    def world(self):
+        return FakeWeb(
+            pages={
+                "http://s/index.html": page("/open.html", "/private/x.html"),
+                "http://s/open.html": page(),
+                "http://s/private/x.html": page(),
+            },
+            robots="User-agent: *\nDisallow: /private\n")
+
+    def test_disallowed_page_rejected_not_fetched(self):
+        web = self.world()
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5),
+                        web).run()
+        robots_rejects = [r for r in result["rejected"]
+                          if r["reason"] == REASON_ROBOTS]
+        assert [r["url"] for r in robots_rejects] == \
+            ["http://s/private/x.html"]
+        assert ("GET", "http://s/private/x.html") not in web.log
+        assert result["pages_scanned"] == 2
+
+    def test_robots_fetched_once_per_host(self):
+        web = self.world()
+        Webbot(WebbotConfig("http://s/index.html", max_depth=5), web).run()
+        robots_gets = [entry for entry in web.log
+                       if entry[1] == "http://s/robots.txt"]
+        assert len(robots_gets) == 1
+
+    def test_honor_robots_false_crawls_everything(self):
+        web = self.world()
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5,
+                                     honor_robots=False), web).run()
+        assert result["pages_scanned"] == 3
+        assert ("GET", "http://s/robots.txt") not in web.log
+
+    def test_missing_robots_means_no_restrictions(self):
+        web = FakeWeb(pages={"http://s/index.html": page("/a.html"),
+                             "http://s/a.html": page()})
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5),
+                        web).run()
+        assert result["pages_scanned"] == 2
+
+    def test_second_pass_never_probes_robots_rejections(self):
+        web = self.world()
+        rejected = [{"url": "http://s/private/x.html", "referrer": "p",
+                     "reason": REASON_ROBOTS}]
+        assert validate_rejected(rejected, web) == []
+        assert web.log == []
+
+
+class TestRedirects:
+    def test_redirect_followed_and_links_resolved_at_target(self):
+        web = FakeWeb(
+            pages={"http://s/index.html": page("/moved.html"),
+                   "http://s/new/home.html": page("child.html"),
+                   "http://s/new/child.html": page()},
+            redirects={"http://s/moved.html": "http://s/new/home.html"})
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5),
+                        web).run()
+        # child.html resolved relative to the redirect TARGET.
+        assert ("GET", "http://s/new/child.html") in web.log
+        assert result["redirects_followed"] == 1
+        assert result["pages_scanned"] == 3
+        assert result["invalid"] == []
+
+    def test_redirect_to_missing_target_is_invalid(self):
+        web = FakeWeb(
+            pages={"http://s/index.html": page("/moved.html")},
+            redirects={"http://s/moved.html": "http://s/gone.html"})
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5),
+                        web).run()
+        assert [r["url"] for r in result["invalid"]] == \
+            ["http://s/moved.html"]
+        assert result["invalid"][0]["status"] == 404
+
+    def test_redirect_loop_capped(self):
+        web = FakeWeb(
+            pages={"http://s/index.html": page("/a.html")},
+            redirects={"http://s/a.html": "http://s/b.html",
+                       "http://s/b.html": "http://s/a.html"})
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5),
+                        web).run()
+        # The loop is detected via the visited set (b -> a already seen).
+        assert result["pages_scanned"] == 1
+        assert len(web.log) < 10
+
+    def test_long_chain_hits_redirect_limit(self):
+        redirects = {f"http://s/r{i}.html": f"http://s/r{i + 1}.html"
+                     for i in range(10)}
+        web = FakeWeb(pages={"http://s/index.html": page("/r0.html")},
+                      redirects=redirects)
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5,
+                                     max_redirects=3), web).run()
+        limited = [r for r in result["invalid"]
+                   if r["reason"] == REASON_REDIRECT_LIMIT]
+        assert len(limited) == 1
+
+    def test_offsite_redirect_rejected_under_prefix(self):
+        web = FakeWeb(
+            pages={"http://s/index.html": page("/away.html")},
+            redirects={"http://s/away.html": "http://elsewhere/x.html"})
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5,
+                                     prefix="http://s/"), web).run()
+        assert any(r["url"] == "http://elsewhere/x.html" and
+                   r["reason"] == "prefix" for r in result["rejected"])
+
+    def test_probe_url_follows_redirects(self):
+        web = FakeWeb(pages={"http://s/final.html": page()},
+                      redirects={"http://s/start.html":
+                                 "http://s/final.html"})
+        status, alive = probe_url("http://s/start.html", web)
+        assert alive and status == 200
+
+    def test_probe_url_detects_loop(self):
+        web = FakeWeb(redirects={"http://s/a": "http://s/b",
+                                 "http://s/b": "http://s/a"})
+        status, alive = probe_url("http://s/a", web)
+        assert not alive
+
+    def test_probe_url_dead_target(self):
+        web = FakeWeb(redirects={"http://s/a": "http://s/missing"})
+        status, alive = probe_url("http://s/a", web)
+        assert not alive and status == 404
+
+    def test_redirect_into_disallowed_area_rejected(self):
+        """Compliance survives indirection: /open redirecting into
+        /private must be rejected, not silently crawled."""
+        web = FakeWeb(
+            pages={"http://s/index.html": page("/open.html"),
+                   "http://s/private/x.html": page()},
+            redirects={"http://s/open.html": "http://s/private/x.html"},
+            robots="User-agent: *\nDisallow: /private\n")
+        result = Webbot(WebbotConfig("http://s/index.html", max_depth=5),
+                        web).run()
+        robots_rejects = [r for r in result["rejected"]
+                          if r["reason"] == REASON_ROBOTS]
+        assert [r["url"] for r in robots_rejects] == \
+            ["http://s/private/x.html"]
+        assert ("GET", "http://s/private/x.html") not in web.log
+
+
+class TestGeneratedSiteFeatures:
+    def spec(self):
+        return SiteSpec(host="www.r.test", n_pages=40, total_bytes=120_000,
+                        redirect_fraction=0.05, redirect_dead_fraction=0.4,
+                        robots_disallow=("/private",), private_pages=5,
+                        seed=13)
+
+    def test_ground_truth_populated(self):
+        site = generate_site(self.spec())
+        assert site.redirects
+        assert site.truth.redirect_alive or site.truth.redirect_dead
+        assert len(site.truth.robots_blocked) == 5
+        assert site.robots_txt and "Disallow: /private" in site.robots_txt
+
+    def test_alive_redirects_point_at_real_pages(self):
+        site = generate_site(self.spec())
+        for _src, href in site.truth.redirect_alive:
+            assert site.redirects[href] in site.pages
+
+    def test_dead_redirects_point_nowhere(self):
+        site = generate_site(self.spec())
+        for _src, href in site.truth.redirect_dead:
+            assert site.redirects[href] not in site.pages
+
+    def test_server_serves_robots_and_redirects(self, kernel, network):
+        site = generate_site(self.spec())
+        host = SimHost(kernel, network, site.host)
+        server = WebServer(host, site)
+        robots, _ = server.handle(HttpRequest("GET", "/robots.txt"))
+        assert robots.status == 200 and "Disallow" in robots.body
+        redirect_path = next(iter(site.redirects))
+        response, _ = server.handle(HttpRequest("GET", redirect_path))
+        assert response.status == 301
+        assert response.location.startswith(f"http://{site.host}/")
+
+    def test_end_to_end_crawl_with_features(self, kernel, network):
+        site = generate_site(self.spec())
+        host = SimHost(kernel, network, site.host)
+        deployment = WebDeployment([WebServer(host, site)])
+        http = SimHttpClient(host, network, deployment, CostLedger())
+        config = WebbotConfig(site.root_url, prefix=f"http://{site.host}/",
+                              max_depth=20)
+        result = Webbot(config, http).run()
+        # Robots-disallowed pages were rejected, not crawled.
+        blocked_urls = {f"http://{site.host}{p}"
+                        for _s, p in site.truth.robots_blocked}
+        robots_rejected = {r["url"] for r in result["rejected"]
+                           if r["reason"] == REASON_ROBOTS}
+        assert robots_rejected <= blocked_urls
+        # Dead-behind-redirect links surfaced as invalid.
+        dead_redirect_urls = {f"http://{site.host}{p}"
+                              for _s, p in site.truth.redirect_dead}
+        invalid_urls = {r["url"] for r in result["invalid"]}
+        assert invalid_urls & dead_redirect_urls
+        # Alive redirects did not produce false positives.
+        alive_redirect_urls = {f"http://{site.host}{p}"
+                               for _s, p in site.truth.redirect_alive}
+        assert not (invalid_urls & alive_redirect_urls)
+        assert result["redirects_followed"] > 0

@@ -1,0 +1,84 @@
+"""Tests for the Webbot's page age and content-type statistics."""
+
+import pytest
+
+from repro.robot.webbot import Webbot, WebbotConfig
+from repro.sim.host import SimHost
+from repro.sim.ledger import CostLedger
+from repro.web.client import SimHttpClient
+from repro.web.server import WebDeployment, WebServer
+from repro.web.site import SiteSpec, generate_site
+
+
+@pytest.fixture
+def asset_site():
+    return generate_site(SiteSpec(
+        host="www.a.test", n_pages=30, total_bytes=90_000,
+        asset_fraction=0.3, max_age_days=500.0, seed=5))
+
+
+@pytest.fixture
+def crawl_result(kernel, network, asset_site):
+    host = SimHost(kernel, network, asset_site.host)
+    deployment = WebDeployment([WebServer(host, asset_site)])
+    http = SimHttpClient(host, network, deployment, CostLedger())
+    config = WebbotConfig(asset_site.root_url,
+                          prefix=f"http://{asset_site.host}/", max_depth=20)
+    return Webbot(config, http).run(), asset_site
+
+
+class TestAssetGeneration:
+    def test_assets_created_with_types(self, asset_site):
+        types = {page.content_type for page in asset_site.pages.values()}
+        assert "image/gif" in types and "text/css" in types
+        assert "text/html" in types
+
+    def test_assets_have_no_links(self, asset_site):
+        for page in asset_site.pages.values():
+            if not page.is_html:
+                assert page.links == []
+
+    def test_ages_bounded_by_spec(self, asset_site):
+        for page in asset_site.pages.values():
+            assert 0.0 <= page.age_days <= 500.0
+
+
+class TestWebbotStatistics:
+    def test_content_types_counted(self, crawl_result):
+        result, _site = crawl_result
+        types = result["content_types"]
+        assert types.get("text/html", 0) > 0
+        assert types.get("image/gif", 0) + types.get("text/css", 0) > 0
+        assert sum(types.values()) == result["pages_scanned"]
+
+    def test_assets_not_parsed_for_links(self, crawl_result):
+        result, site = crawl_result
+        # Every invalid URL must originate from an HTML referrer.
+        asset_paths = {p for p, page in site.pages.items()
+                       if not page.is_html}
+        for record in result["invalid"]:
+            referrer_path = record["referrer"].replace(
+                f"http://{site.host}", "")
+            assert referrer_path not in asset_paths
+
+    def test_age_statistics_within_spec_bounds(self, crawl_result):
+        result, _site = crawl_result
+        age = result["age_days"]
+        assert age is not None
+        assert 0.0 <= age["min"] <= age["mean"] <= age["max"] <= 500.0
+
+    def test_age_none_when_server_sends_no_ages(self):
+        class Resp:
+            status = 200
+            ok = True
+            body = "<html></html>"
+            location = None
+            content_type = "text/html"
+            age_days = None
+
+        class Http:
+            def get(self, url):
+                return Resp()
+        result = Webbot(WebbotConfig("http://x/", honor_robots=False),
+                        Http()).run()
+        assert result["age_days"] is None

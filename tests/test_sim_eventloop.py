@@ -1,0 +1,293 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.errors import (
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+    StopProcess,
+)
+from repro.sim.eventloop import Kernel
+
+
+def drain(kernel, until=None):
+    return kernel.run(until=until)
+
+
+class TestEventBasics:
+    def test_new_event_is_pending(self, kernel):
+        event = kernel.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, kernel):
+        event = kernel.event()
+        event.succeed(42)
+        drain(kernel)
+        assert event.ok and event.value == 42
+
+    def test_fail_carries_exception(self, kernel):
+        event = kernel.event()
+        event.fail(ValueError("boom"))
+        drain(kernel)
+        assert not event.ok
+        with pytest.raises(ValueError):
+            _ = event.value
+
+    def test_double_trigger_rejected(self, kernel):
+        event = kernel.event()
+        event.succeed(1)
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed(2)
+        with pytest.raises(EventAlreadyTriggered):
+            event.fail(RuntimeError())
+
+    def test_fail_requires_exception_instance(self, kernel):
+        event = kernel.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, kernel):
+        event = kernel.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_callback_after_processing_runs_immediately(self, kernel):
+        event = kernel.event()
+        event.succeed("x")
+        drain(kernel)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, kernel):
+        kernel.timeout(5.0)
+        drain(kernel)
+        assert kernel.now == 5.0
+
+    def test_timeouts_fire_in_order(self, kernel):
+        order = []
+        kernel.timeout(3).add_callback(lambda e: order.append(3))
+        kernel.timeout(1).add_callback(lambda e: order.append(1))
+        kernel.timeout(2).add_callback(lambda e: order.append(2))
+        drain(kernel)
+        assert order == [1, 2, 3]
+
+    def test_same_instant_fifo(self, kernel):
+        order = []
+        for i in range(5):
+            kernel.timeout(1.0).add_callback(
+                lambda e, i=i: order.append(i))
+        drain(kernel)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.timeout(-1)
+
+    def test_timeout_value_passthrough(self, kernel):
+        event = kernel.timeout(1, value="payload")
+        drain(kernel)
+        assert event.value == "payload"
+
+    def test_run_until_caps_clock(self, kernel):
+        kernel.timeout(10)
+        kernel.run(until=4)
+        assert kernel.now == 4
+
+    def test_run_until_with_empty_heap_advances(self, kernel):
+        kernel.run(until=7)
+        assert kernel.now == 7
+
+
+class TestProcess:
+    def test_process_returns_value(self, kernel):
+        def proc():
+            yield kernel.timeout(2)
+            return "done"
+        assert kernel.run_process(proc()) == "done"
+        assert kernel.now == 2
+
+    def test_sequential_waits_accumulate(self, kernel):
+        def proc():
+            yield kernel.timeout(1)
+            yield kernel.timeout(2)
+            yield kernel.timeout(3)
+        kernel.run_process(proc())
+        assert kernel.now == 6
+
+    def test_process_receives_event_value(self, kernel):
+        def proc():
+            value = yield kernel.timeout(1, value="hello")
+            return value
+        assert kernel.run_process(proc()) == "hello"
+
+    def test_exception_propagates_to_run_process(self, kernel):
+        def proc():
+            yield kernel.timeout(1)
+            raise RuntimeError("inner")
+        with pytest.raises(RuntimeError, match="inner"):
+            kernel.run_process(proc())
+
+    def test_failed_event_thrown_into_process(self, kernel):
+        trigger = kernel.event()
+
+        def proc():
+            try:
+                yield trigger
+            except ValueError:
+                return "caught"
+        process = kernel.spawn(proc())
+        trigger.fail(ValueError("x"))
+        drain(kernel)
+        assert process.value == "caught"
+
+    def test_process_waits_for_process(self, kernel):
+        def child():
+            yield kernel.timeout(5)
+            return "child-result"
+
+        def parent():
+            result = yield kernel.spawn(child())
+            return result
+        assert kernel.run_process(parent()) == "child-result"
+        assert kernel.now == 5
+
+    def test_yielding_non_event_fails_process(self, kernel):
+        def proc():
+            yield 42
+        with pytest.raises(SimulationError, match="non-event"):
+            kernel.run_process(proc())
+
+    def test_yielding_foreign_event_fails(self, kernel):
+        other = Kernel()
+
+        def proc():
+            yield other.timeout(1)
+        with pytest.raises(SimulationError, match="another kernel"):
+            kernel.run_process(proc())
+
+    def test_spawn_requires_generator(self, kernel):
+        with pytest.raises(TypeError):
+            kernel.spawn(lambda: None)
+
+    def test_stop_process_terminates_with_value(self, kernel):
+        def proc():
+            yield kernel.timeout(1)
+            raise StopProcess("early")
+            yield kernel.timeout(99)  # pragma: no cover
+        assert kernel.run_process(proc()) == "early"
+        assert kernel.now == 1
+
+    def test_interrupt_raises_inside_process(self, kernel):
+        def victim():
+            try:
+                yield kernel.timeout(100)
+            except Interrupt as interrupt:
+                return f"interrupted:{interrupt.cause}"
+        process = kernel.spawn(victim())
+
+        def killer():
+            yield kernel.timeout(3)
+            process.interrupt("bye")
+        kernel.spawn(killer())
+        kernel.run_until(process)
+        assert process.value == "interrupted:bye"
+        assert kernel.now == pytest.approx(3)
+
+    def test_interrupt_finished_process_is_noop(self, kernel):
+        def quick():
+            yield kernel.timeout(1)
+            return "ok"
+        process = kernel.spawn(quick())
+        drain(kernel)
+        process.interrupt("late")  # must not raise
+        assert process.value == "ok"
+
+    def test_is_alive_tracks_lifecycle(self, kernel):
+        def proc():
+            yield kernel.timeout(1)
+        process = kernel.spawn(proc())
+        assert process.is_alive
+        drain(kernel)
+        assert not process.is_alive
+
+    def test_run_process_deadlock_detected(self, kernel):
+        def stuck():
+            yield kernel.event()  # never triggered
+        with pytest.raises(SimulationError, match="did not finish"):
+            kernel.run_process(stuck())
+
+
+class TestCombinators:
+    def test_any_of_first_wins(self, kernel):
+        def proc():
+            fast = kernel.timeout(1, value="fast")
+            slow = kernel.timeout(5, value="slow")
+            done = yield kernel.any_of([fast, slow])
+            return done
+        result = kernel.run_process(proc())
+        assert list(result.values()) == ["fast"]
+        assert kernel.now == 1
+
+    def test_any_of_empty_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.any_of([])
+
+    def test_all_of_waits_for_all(self, kernel):
+        def proc():
+            events = [kernel.timeout(d, value=d) for d in (1, 3, 2)]
+            done = yield kernel.all_of(events)
+            return [done[e] for e in events]
+        assert kernel.run_process(proc()) == [1, 3, 2]
+        assert kernel.now == 3
+
+    def test_all_of_empty_succeeds_immediately(self, kernel):
+        def proc():
+            done = yield kernel.all_of([])
+            return done
+        assert kernel.run_process(proc()) == {}
+
+    def test_all_of_fails_on_child_failure(self, kernel):
+        trigger = kernel.event()
+
+        def proc():
+            yield kernel.all_of([kernel.timeout(1), trigger])
+        process = kernel.spawn(proc())
+        trigger.fail(KeyError("nope"))
+        drain(kernel)
+        assert not process.ok
+
+    def test_run_until_stops_at_event(self, kernel):
+        def quick():
+            yield kernel.timeout(2)
+            return "x"
+        kernel.timeout(100)  # would drag the clock if drained
+        process = kernel.spawn(quick())
+        kernel.run_until(process)
+        assert process.value == "x"
+        assert kernel.now == 2
+
+
+class TestKernelGuards:
+    def test_reentrant_run_rejected(self, kernel):
+        def proc():
+            kernel.run()
+            yield kernel.timeout(1)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            kernel.run_process(proc())
+
+    def test_max_events_bounds_execution(self, kernel):
+        for _ in range(10):
+            kernel.timeout(1)
+        kernel.run(max_events=3)
+        assert kernel.processed_events == 3
+
+    def test_processed_events_counted(self, kernel):
+        kernel.timeout(1)
+        kernel.timeout(2)
+        drain(kernel)
+        assert kernel.processed_events == 2

@@ -1,0 +1,234 @@
+"""Unit tests for the site generator, web server, and HTTP client."""
+
+import pytest
+
+from repro.sim.host import SimHost
+from repro.sim.ledger import CostLedger
+from repro.web.client import ClientModel, SimHttpClient
+from repro.web.server import (
+    HttpRequest,
+    ServerModel,
+    WebDeployment,
+    WebServer,
+)
+from repro.web.site import (
+    SiteSpec,
+    external_stub_site,
+    generate_site,
+    paper_site_spec,
+)
+from repro.robot.webbot import extract_links
+
+
+@pytest.fixture
+def small_site():
+    return generate_site(SiteSpec(
+        host="www.test", n_pages=40, total_bytes=120_000,
+        external_hosts=("ext.test",), dead_internal_fraction=0.05,
+        external_link_fraction=0.1, external_dead_fraction=0.5, seed=11))
+
+
+class TestSiteGenerator:
+    def test_page_count_exact(self, small_site):
+        assert small_site.n_pages == 40
+
+    def test_total_bytes_close_to_budget(self, small_site):
+        assert abs(small_site.total_bytes - 120_000) < 6_000
+
+    def test_root_exists(self, small_site):
+        assert small_site.root_path in small_site.pages
+        assert small_site.root_url == "http://www.test/index.html"
+
+    def test_deterministic(self):
+        spec = SiteSpec(host="h.test", n_pages=20, total_bytes=40_000,
+                        seed=3)
+        a, b = generate_site(spec), generate_site(spec)
+        assert sorted(a.pages) == sorted(b.pages)
+        assert all(a.pages[p].html == b.pages[p].html for p in a.pages)
+
+    def test_different_seeds_differ(self):
+        base = dict(host="h.test", n_pages=20, total_bytes=40_000)
+        a = generate_site(SiteSpec(seed=1, **base))
+        b = generate_site(SiteSpec(seed=2, **base))
+        assert any(a.pages[p].html != b.pages[p].html
+                   for p in a.pages if p in b.pages)
+
+    def test_every_page_reachable_from_root(self, small_site):
+        seen = {small_site.root_path}
+        frontier = [small_site.root_path]
+        while frontier:
+            path = frontier.pop()
+            for href in small_site.pages[path].links:
+                if href.startswith("/") and href in small_site.pages and \
+                        href not in seen:
+                    seen.add(href)
+                    frontier.append(href)
+        assert seen == set(small_site.pages)
+
+    def test_dead_internal_links_do_not_exist(self, small_site):
+        assert small_site.truth.dead_internal
+        for _src, href in small_site.truth.dead_internal:
+            assert href not in small_site.pages
+
+    def test_external_links_point_off_site(self, small_site):
+        assert small_site.truth.external
+        for _src, href in small_site.truth.external:
+            assert href.startswith("http://ext.test")
+
+    def test_ground_truth_links_are_really_in_the_html(self, small_site):
+        for src, href in small_site.truth.dead_internal[:10]:
+            assert href in extract_links(small_site.pages[src].html)
+
+    def test_depths_recorded(self, small_site):
+        truth = small_site.truth
+        assert truth.depth_of[small_site.root_path] == 0
+        assert truth.pages_within_depth(0) == 1
+        assert truth.pages_within_depth(10_000) == small_site.n_pages
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SiteSpec(n_pages=0)
+        with pytest.raises(ValueError):
+            SiteSpec(n_pages=100, total_bytes=10)
+        with pytest.raises(ValueError):
+            SiteSpec(dead_internal_fraction=1.5)
+
+    def test_paper_spec_scale(self):
+        site = generate_site(paper_site_spec())
+        assert site.n_pages == 917
+        assert abs(site.total_bytes - 3_000_000) < 30_000
+
+    def test_external_stub_site(self):
+        site = external_stub_site("stub.test")
+        assert site.n_pages >= 1 and site.root_path in site.pages
+
+
+@pytest.fixture
+def served(kernel, network, small_site):
+    server_host = SimHost(kernel, network, "www.test")
+    client_host = SimHost(kernel, network, "client.test")
+    network.link("client.test", "www.test", latency=0.001,
+                 bandwidth=125_000.0)
+    server = WebServer(server_host, small_site)
+    deployment = WebDeployment([server])
+    return server, deployment, client_host, server_host
+
+
+class TestWebServer:
+    def test_get_existing_page(self, served, small_site):
+        server = served[0]
+        response, seconds = server.handle(
+            HttpRequest("GET", small_site.root_path))
+        assert response.status == 200
+        assert response.body == small_site.pages[small_site.root_path].html
+        assert seconds > 0
+
+    def test_get_missing_page_404(self, served):
+        response, _ = served[0].handle(HttpRequest("GET", "/nope.html"))
+        assert response.status == 404 and not response.ok
+
+    def test_head_has_no_body(self, served, small_site):
+        response, _ = served[0].handle(
+            HttpRequest("HEAD", small_site.root_path))
+        assert response.status == 200 and response.body == ""
+        assert response.content_length > 0
+
+    def test_unsupported_method_501(self, served):
+        response, _ = served[0].handle(HttpRequest("POST", "/x"))
+        assert response.status == 501
+
+    def test_path_normalised(self, served, small_site):
+        messy = small_site.root_path.replace("/", "//", 1)
+        response, _ = served[0].handle(HttpRequest("GET", messy))
+        assert response.status == 200
+
+    def test_counters(self, served, small_site):
+        server = served[0]
+        server.handle(HttpRequest("GET", small_site.root_path))
+        server.handle(HttpRequest("GET", "/missing"))
+        assert server.requests_served == 2
+        assert server.bytes_served > 0
+
+    def test_service_time_scales_with_size(self):
+        model = ServerModel(per_request_cpu=0.001, per_kilobyte_cpu=0.001)
+        from repro.web.server import HttpResponse
+        small = model.service_seconds(HttpResponse(200, "x"))
+        large = model.service_seconds(HttpResponse(200, "x" * 10_240))
+        assert large > small
+
+    def test_deployment_resolution(self, served):
+        _, deployment, _, _ = served
+        from repro.web import urls
+        assert deployment.resolve(urls.parse("http://www.test/")) is not None
+        assert deployment.resolve(urls.parse("http://ghost/")) is None
+
+    def test_deployment_duplicate_rejected(self, served):
+        server, deployment, _, _ = served
+        with pytest.raises(ValueError):
+            deployment.add(server)
+
+
+class TestHttpClient:
+    def test_local_vs_remote_cost(self, served, small_site, kernel):
+        server, deployment, client_host, server_host = served
+        local_ledger, remote_ledger = CostLedger(), CostLedger()
+        local = SimHttpClient(server_host, server_host.network, deployment,
+                              local_ledger)
+        remote = SimHttpClient(client_host, client_host.network, deployment,
+                               remote_ledger)
+        url = small_site.root_url
+        assert local.get(url).status == 200
+        assert remote.get(url).status == 200
+        assert remote_ledger.seconds("network") > \
+            local_ledger.seconds("network") * 10
+
+    def test_unknown_host_connect_fail(self, served):
+        _, deployment, client_host, _ = served
+        client = SimHttpClient(client_host, client_host.network, deployment,
+                               CostLedger())
+        response = client.get("http://no-such-host/")
+        assert response.status == 0 and response.failed_to_connect
+        assert client.ledger.seconds("connect-fail") > 0
+
+    def test_malformed_url_fails_cleanly(self, served):
+        _, deployment, client_host, _ = served
+        client = SimHttpClient(client_host, client_host.network, deployment,
+                               CostLedger())
+        assert client.get("not a url").status == 0
+
+    def test_head_cheaper_than_get(self, served, small_site):
+        _, deployment, client_host, _ = served
+        get_ledger, head_ledger = CostLedger(), CostLedger()
+        SimHttpClient(client_host, client_host.network, deployment,
+                      get_ledger).get(small_site.root_url)
+        SimHttpClient(client_host, client_host.network, deployment,
+                      head_ledger).head(small_site.root_url)
+        assert head_ledger.total_seconds < get_ledger.total_seconds
+
+    def test_partitioned_link_is_connect_fail(self, served, small_site):
+        _, deployment, client_host, _ = served
+        client_host.network.set_link_up("client.test", "www.test", False)
+        client = SimHttpClient(client_host, client_host.network, deployment,
+                               CostLedger())
+        assert client.get(small_site.root_url).failed_to_connect
+
+    def test_handshake_rtts_charged(self, served, small_site):
+        _, deployment, client_host, _ = served
+        with_hs = CostLedger()
+        without_hs = CostLedger()
+        SimHttpClient(client_host, client_host.network, deployment, with_hs,
+                      model=ClientModel(handshake_rtts=1)
+                      ).get(small_site.root_url)
+        SimHttpClient(client_host, client_host.network, deployment,
+                      without_hs, model=ClientModel(handshake_rtts=0)
+                      ).get(small_site.root_url)
+        assert with_hs.seconds("network") - without_hs.seconds("network") \
+            == pytest.approx(0.002)
+
+    def test_request_counter(self, served, small_site):
+        _, deployment, client_host, _ = served
+        client = SimHttpClient(client_host, client_host.network, deployment,
+                               CostLedger())
+        client.get(small_site.root_url)
+        client.head(small_site.root_url)
+        assert client.requests_made == 2

@@ -1,0 +1,167 @@
+"""Composition: sealing around group communication.
+
+Section 4's vision is *stacked* support: "a group communication wrapper
+... If the agents are to move, one can add a location transparent
+wrapper around the broadcast wrapper."  Here we stack sealing *around*
+group multicast: every fanned-out copy is sealed on its way to the
+firewall, members unseal before reordering, and an eavesdropper (a
+member with the wrong key) learns nothing.
+"""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.core.uri import AgentUri
+from repro.vm import loader
+from repro.wrappers.groupcomm import GroupCommWrapper, group_send
+from repro.wrappers.sealing import SEALED_FOLDER, SealingWrapper
+from repro.wrappers.stack import WrapperSpec, WrapperStack, install_wrappers
+
+KEY_CONFIG = SealingWrapper.make_key_config(b"group-secret-key-32bytes!!")
+
+
+def sealed_group_listener(ctx, bc):
+    heard = []
+    while True:
+        message = yield from ctx.recv(timeout=500)
+        if message.briefcase.get_text(wellknown.OP) == "stop":
+            yield from ctx.send(bc.get_text("HOME"),
+                                Briefcase({"HEARD": heard}))
+            return "done"
+        ping = message.briefcase.get_text("PING")
+        if ping is not None:
+            heard.append(ping)
+
+
+class TestSealedGroup:
+    def test_sealed_multicast_delivers_and_hides(self, single_cluster):
+        node = single_cluster.node("solo.test")
+        home = node.driver(name="sg-home")
+        members = ["tacoma://solo.test//sgl0",
+                   "tacoma://solo.test//sgl1"]
+        group_config = {"group": "sealedswarm", "members": members}
+
+        def wrapper_specs():
+            # Outermost sealing, group inside.
+            return [WrapperSpec.by_ref(SealingWrapper, KEY_CONFIG),
+                    WrapperSpec.by_ref(GroupCommWrapper, group_config)]
+
+        listener_uris = []
+        for i, name in enumerate(("sgl0", "sgl1")):
+            briefcase = Briefcase()
+            loader.install_payload(
+                briefcase, loader.pack_ref(sealed_group_listener),
+                agent_name=name)
+            briefcase.put("HOME", str(home.uri))
+            install_wrappers(briefcase, wrapper_specs())
+
+            def launch(briefcase=briefcase):
+                reply = yield from home.meet(
+                    single_cluster.vm_uri("solo.test"), briefcase,
+                    timeout=60)
+                assert reply.get_text(wellknown.STATUS) == "ok", \
+                    reply.get_text(wellknown.ERROR)
+                return reply.get_text("AGENT-URI")
+            listener_uris.append(single_cluster.run(launch()))
+
+        # A sender context with the same sealed-group stack; the home
+        # driver needs the sealing layer too — the listeners' HEARD
+        # reports come home sealed.
+        sender = node.driver(name="sg-sender")
+        sender.wrappers = WrapperStack([
+            SealingWrapper(KEY_CONFIG),
+            GroupCommWrapper({**group_config, "deliver_self": False}),
+        ])
+        home.wrappers = WrapperStack([SealingWrapper(KEY_CONFIG)])
+
+        # Spy on raw deliveries: the firewall must see only sealed data.
+        raw_seen = []
+        original = node.firewall._dispatch_local
+
+        def spy(message):
+            raw_seen.append(message.briefcase.snapshot())
+            return original(message)
+        node.firewall._dispatch_local = spy
+
+        def scenario():
+            for i in range(3):
+                yield from group_send(sender, "sealedswarm",
+                                      Briefcase({"PING": [f"p{i}"]}))
+            yield single_cluster.kernel.timeout(2)
+            stop = Briefcase()
+            stop.put(wellknown.OP, "stop")
+            heard = []
+            for uri in listener_uris:
+                yield from home.send(AgentUri.parse(uri), stop)
+            for _ in range(2):
+                message = yield from home.recv(timeout=60)
+                heard.append(message.briefcase.folder("HEARD").texts())
+            return heard
+        heard = single_cluster.run(scenario())
+        assert heard == [["p0", "p1", "p2"], ["p0", "p1", "p2"]]
+
+        # No plaintext PING ever crossed the firewall between the
+        # sender and the members.
+        sealed_count = 0
+        for briefcase in raw_seen:
+            if briefcase.has(SEALED_FOLDER):
+                sealed_count += 1
+                for folder in briefcase:
+                    for element in folder:
+                        assert b"p0" not in element.data or \
+                            folder.name == SEALED_FOLDER
+                assert not briefcase.has("PING")
+        assert sealed_count >= 6  # 3 pings x 2 members
+
+    def test_wrong_key_member_hears_nothing(self, single_cluster):
+        node = single_cluster.node("solo.test")
+        home = node.driver(name="ek-home")
+        members = ["tacoma://solo.test//eavesdrop"]
+        briefcase = Briefcase()
+        loader.install_payload(
+            briefcase, loader.pack_ref(sealed_group_listener),
+            agent_name="eavesdrop")
+        briefcase.put("HOME", str(home.uri))
+        install_wrappers(briefcase, [
+            WrapperSpec.by_ref(
+                SealingWrapper,
+                SealingWrapper.make_key_config(b"the-wrong-key")),
+            WrapperSpec.by_ref(GroupCommWrapper,
+                               {"group": "sealedswarm",
+                                "members": members}),
+        ])
+
+        def launch():
+            reply = yield from home.meet(
+                single_cluster.vm_uri("solo.test"), briefcase, timeout=60)
+            return reply.get_text("AGENT-URI")
+        uri = single_cluster.run(launch())
+        # The eavesdropper's own report comes home sealed with ITS key.
+        home.wrappers = WrapperStack([
+            SealingWrapper(
+                SealingWrapper.make_key_config(b"the-wrong-key"))])
+
+        sender = node.driver(name="ek-sender")
+        sender.wrappers = WrapperStack([
+            SealingWrapper(KEY_CONFIG),
+            GroupCommWrapper({"group": "sealedswarm", "members": members,
+                              "deliver_self": False}),
+        ])
+
+        def scenario():
+            yield from group_send(sender, "sealedswarm",
+                                  Briefcase({"PING": ["secret"]}))
+            yield single_cluster.kernel.timeout(2)
+            # The stop must reach the agent: send it sealed with the
+            # *agent's* (wrong) key so its stack lets it through.
+            stop = Briefcase()
+            stop.put(wellknown.OP, "stop")
+            wrong_key_sender = node.driver(name="ek-stopper")
+            wrong_key_sender.wrappers = WrapperStack([
+                SealingWrapper(
+                    SealingWrapper.make_key_config(b"the-wrong-key"))])
+            yield from wrong_key_sender.send(AgentUri.parse(uri), stop)
+            message = yield from home.recv(timeout=60)
+            return message.briefcase.folder("HEARD").texts()
+        assert single_cluster.run(scenario()) == []

@@ -1,0 +1,92 @@
+"""Checkpoint/recovery wrapper tests: losing and relaunching an agent."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.core.uri import AgentUri
+from repro.vm import loader
+from repro.wrappers.fault import CheckpointWrapper, recover
+from repro.wrappers.stack import WrapperSpec, install_wrappers
+
+
+def stepper_agent(ctx, bc):
+    """Counts incarnations; each reports progress home, the second one
+    finishes.  The progress send is the observable action the checkpoint
+    wrapper snapshots at."""
+    count = int(bc.get_text("COUNT") or 0) + 1
+    bc.put("COUNT", str(count))
+    yield from ctx.send(bc.get_text("HOME"),
+                        Briefcase({"PROGRESS": [str(count)]}))
+    if count >= 2:
+        yield from ctx.send(bc.get_text("HOME"),
+                            Briefcase({"FINAL-COUNT": [str(count)]}))
+        return "finished"
+    # First incarnation: idle forever (will be killed by the test).
+    yield from ctx.sleep(1_000_000)
+
+
+class TestCheckpointWrapper:
+    def test_config_required(self):
+        with pytest.raises(ValueError):
+            CheckpointWrapper({"drawer": "d"})
+
+    def test_checkpoint_and_recover_after_kill(self, single_cluster):
+        node = single_cluster.node("solo.test")
+        driver = node.driver()
+        cabinet_uri = "tacoma://solo.test//ag_cabinet"
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(stepper_agent),
+                               agent_name="stepper")
+        briefcase.put("HOME", str(driver.uri))
+        install_wrappers(briefcase, [WrapperSpec.by_ref(
+            CheckpointWrapper,
+            {"cabinet": cabinet_uri, "drawer": "stepper-ckpt",
+             "on": ["arrive", "send"]})])
+
+        def scenario():
+            reply = yield from driver.meet(
+                single_cluster.vm_uri("solo.test"), briefcase, timeout=60)
+            assert reply.get_text(wellknown.STATUS) == "ok"
+            agent_uri = AgentUri.parse(reply.get_text("AGENT-URI"))
+            progress = yield from driver.recv(timeout=60)
+            assert progress.briefcase.get_text("PROGRESS") == "1"
+            yield single_cluster.kernel.timeout(1)
+
+            # Simulate a crash: kill the running agent outright.
+            admin = Briefcase()
+            admin.put(wellknown.OP, "kill")
+            admin.put(wellknown.ARGS, {"instance": agent_uri.instance})
+            yield from driver.meet(AgentUri.parse("firewall"), admin,
+                                   timeout=60)
+
+            # Recover from the last checkpoint; the clone resumes with
+            # COUNT=1 in its briefcase and finishes.
+            relaunched = yield from recover(
+                driver, cabinet_uri, "stepper-ckpt",
+                single_cluster.vm_uri("solo.test"))
+            assert relaunched != str(agent_uri)
+            while True:
+                message = yield from driver.recv(timeout=60)
+                final = message.briefcase.get_text("FINAL-COUNT")
+                if final is not None:
+                    return final
+        assert single_cluster.run(scenario()) == "2"
+
+    def test_recover_without_checkpoint_raises(self, single_cluster):
+        driver = single_cluster.node("solo.test").driver()
+        from repro.core.errors import TaxError
+
+        def scenario():
+            with pytest.raises(TaxError, match="no checkpoint|no drawer"):
+                yield from recover(driver,
+                                   "tacoma://solo.test//ag_cabinet",
+                                   "missing-drawer",
+                                   single_cluster.vm_uri("solo.test"))
+            return "done"
+        assert single_cluster.run(scenario()) == "done"
+
+    def test_checkpoint_points_config(self):
+        wrapper = CheckpointWrapper({"cabinet": "c", "drawer": "d",
+                                     "on": ["depart"]})
+        assert wrapper.points == ("depart",)

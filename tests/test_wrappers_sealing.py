@@ -1,0 +1,174 @@
+"""Tests for the sealing (confidentiality) wrapper."""
+
+import base64
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core import wellknown
+from repro.core.uri import AgentUri
+from repro.firewall.message import Message, SenderInfo
+from repro.vm import loader
+from repro.wrappers.sealing import (
+    MAC_FOLDER,
+    SEALED_FOLDER,
+    SealingWrapper,
+    seal,
+    unseal,
+)
+from repro.wrappers.stack import WrapperSpec, WrapperStack, install_wrappers
+
+KEY = b"0123456789abcdef0123456789abcdef"
+CONFIG = SealingWrapper.make_key_config(KEY)
+
+
+class FakeCtx:
+    registration = None
+    instance = "f00"
+
+
+def make_message(briefcase):
+    return Message(target=AgentUri.parse("peer"), briefcase=briefcase,
+                   sender=SenderInfo("x", "h"))
+
+
+class TestPrimitives:
+    def test_seal_unseal_round_trip(self):
+        sealed, mac = seal(KEY, b"n" * 16, b"secret payload")
+        assert unseal(KEY, sealed, mac) == b"secret payload"
+
+    def test_tamper_detected(self):
+        sealed, mac = seal(KEY, b"n" * 16, b"secret payload")
+        tampered = sealed[:-1] + bytes([sealed[-1] ^ 1])
+        assert unseal(KEY, tampered, mac) is None
+
+    def test_wrong_key_fails_mac(self):
+        sealed, mac = seal(KEY, b"n" * 16, b"secret")
+        assert unseal(b"other-key", sealed, mac) is None
+
+    def test_ciphertext_differs_from_plaintext(self):
+        sealed, _mac = seal(KEY, b"n" * 16, b"secret payload")
+        assert b"secret" not in sealed
+
+
+class TestWrapperUnits:
+    def test_config_key_required(self):
+        with pytest.raises(ValueError):
+            SealingWrapper({})
+
+    def test_send_hides_application_folders(self):
+        wrapper = SealingWrapper(CONFIG)
+        briefcase = Briefcase({"SECRET": ["classified"]})
+        briefcase.put(wellknown.MEET_TOKEN, "tok")
+        _target, out = wrapper.on_send(FakeCtx(), AgentUri.parse("p"),
+                                       briefcase)
+        assert not out.has("SECRET")
+        assert out.has(SEALED_FOLDER) and out.has(MAC_FOLDER)
+        # Routing metadata stays clear.
+        assert out.get_text(wellknown.MEET_TOKEN) == "tok"
+        assert b"classified" not in out.get_first(SEALED_FOLDER).data
+
+    def test_receive_restores_folders(self):
+        wrapper = SealingWrapper(CONFIG)
+        briefcase = Briefcase({"SECRET": ["classified"]})
+        _t, sealed_bc = wrapper.on_send(FakeCtx(), AgentUri.parse("p"),
+                                        briefcase)
+        message = wrapper.on_receive(FakeCtx(), make_message(sealed_bc))
+        assert message.briefcase.get_text("SECRET") == "classified"
+        assert not message.briefcase.has(SEALED_FOLDER)
+
+    def test_tampered_message_consumed(self):
+        wrapper = SealingWrapper(CONFIG)
+        _t, sealed_bc = wrapper.on_send(
+            FakeCtx(), AgentUri.parse("p"), Briefcase({"S": ["x"]}))
+        sealed_bc.put(MAC_FOLDER, "0" * 64)
+        assert wrapper.on_receive(FakeCtx(), make_message(sealed_bc)) is None
+        assert wrapper.rejected_count == 1
+
+    def test_wrong_key_peer_cannot_read(self):
+        sender = SealingWrapper(CONFIG)
+        eavesdropper = SealingWrapper(
+            SealingWrapper.make_key_config(b"wrong-key"))
+        _t, sealed_bc = sender.on_send(
+            FakeCtx(), AgentUri.parse("p"), Briefcase({"S": ["x"]}))
+        assert eavesdropper.on_receive(
+            FakeCtx(), make_message(sealed_bc)) is None
+
+    def test_plain_traffic_passes_unless_required(self):
+        relaxed = SealingWrapper(CONFIG)
+        strict = SealingWrapper({**CONFIG, "require_sealed": True})
+        plain = make_message(Briefcase({"S": ["x"]}))
+        assert relaxed.on_receive(FakeCtx(), plain) is plain
+        assert strict.on_receive(FakeCtx(), plain) is None
+
+    def test_empty_briefcase_not_sealed(self):
+        wrapper = SealingWrapper(CONFIG)
+        briefcase = Briefcase()
+        briefcase.put(wellknown.MEET_TOKEN, "t")
+        _t, out = wrapper.on_send(FakeCtx(), AgentUri.parse("p"), briefcase)
+        assert not out.has(SEALED_FOLDER)
+
+    def test_nonces_are_unique_per_message(self):
+        wrapper = SealingWrapper(CONFIG)
+        b1 = wrapper.on_send(FakeCtx(), AgentUri.parse("p"),
+                             Briefcase({"S": ["same"]}))[1]
+        b2 = wrapper.on_send(FakeCtx(), AgentUri.parse("p"),
+                             Briefcase({"S": ["same"]}))[1]
+        assert b1.get_first(SEALED_FOLDER).data != \
+            b2.get_first(SEALED_FOLDER).data
+
+
+def sealed_echo_agent(ctx, bc):
+    """Echoes BODY back; the sealing wrapper is transparent to it."""
+    while True:
+        message = yield from ctx.recv()
+        if message.briefcase.get_text(wellknown.OP) == "stop":
+            return "stopped"
+        reply = Briefcase({"ECHO": [message.briefcase.get_text("BODY")]})
+        yield from ctx.reply(message, reply)
+
+
+class TestEndToEnd:
+    def test_sealed_channel_through_firewalls(self, pair_cluster):
+        briefcase = Briefcase()
+        loader.install_payload(briefcase,
+                               loader.pack_ref(sealed_echo_agent),
+                               agent_name="sealed-echo")
+        install_wrappers(briefcase,
+                         [WrapperSpec.by_ref(SealingWrapper, CONFIG)])
+        driver = pair_cluster.node("alpha.test").driver()
+
+        intercepted = []
+        beta_firewall = pair_cluster.node("beta.test").firewall
+        original = beta_firewall.receive_remote
+
+        def spy(message):
+            intercepted.append(message.briefcase.snapshot())
+            return original(message)
+        beta_firewall.receive_remote = spy
+
+        def scenario():
+            reply = yield from driver.meet(
+                pair_cluster.vm_uri("beta.test"), briefcase, timeout=60)
+            assert reply.get_text(wellknown.STATUS) == "ok", \
+                reply.get_text(wellknown.ERROR)
+            echo_uri = reply.get_text("AGENT-URI")
+            # Seal only the application conversation, not the launch.
+            driver.wrappers = WrapperStack([SealingWrapper(CONFIG)])
+            request = Briefcase({"BODY": ["the plan"]})
+            answer = yield from driver.meet(AgentUri.parse(echo_uri),
+                                            request, timeout=60)
+            stop = Briefcase()
+            stop.put(wellknown.OP, "stop")
+            yield from driver.send(AgentUri.parse(echo_uri), stop)
+            return answer.get_text("ECHO")
+
+        assert pair_cluster.run(scenario()) == "the plan"
+        # The remote firewall saw sealed traffic only: no intercepted
+        # briefcase exposes the plaintext BODY.
+        data_messages = [bc for bc in intercepted if bc.has(SEALED_FOLDER)]
+        assert data_messages, "sealed traffic must have crossed the wire"
+        for bc in intercepted:
+            for folder in bc:
+                for element in folder:
+                    assert b"the plan" not in element.data
