@@ -66,6 +66,9 @@ class AgentContext:
         self.moved = False
         self.finished = False
         self._pending_tokens: set = set()
+        #: Lifecycle span opened by the launching VM (None for drivers
+        #: and service contexts, which are never launched).
+        self.run_span = None
 
     # -- wiring (done by the VM at launch) -----------------------------------------
 
@@ -141,7 +144,11 @@ class AgentContext:
         message = Message(target=target, briefcase=briefcase.snapshot(),
                           sender=self._sender_info(),
                           queue_timeout=queue_timeout)
-        return (yield from self.firewall.submit(message))
+        ok = yield from self.firewall.submit(message)
+        telemetry = self.kernel.telemetry
+        if ok and telemetry.enabled and self.registration is not None:
+            telemetry.metrics.inc("agent.messages_out", agent=self.name)
+        return ok
 
     def post(self, target: Target, briefcase: Optional[Briefcase] = None):
         """Asynchronous send: runs in its own process, returns immediately.
@@ -248,17 +255,32 @@ class AgentContext:
         """
         target = self._resolve(vm_target)
         transport = self._transport_briefcase()
+        telemetry = self.kernel.telemetry
+        span = telemetry.tracer.begin(
+            "go", category="agent", track=f"agent:{self.name}",
+            agent=self.name, src=self.host_name, dst=str(target),
+            dst_host=target.host)
         self.wrappers.on_depart(self, target)
         try:
             reply = yield from self.meet(target, transport, timeout=timeout)
         except (TaxError, NetworkError) as exc:
+            span.end(outcome="failed", error=str(exc))
+            if telemetry.enabled:
+                telemetry.metrics.inc("agent.migration_failures", op="go")
             raise MigrationError(f"go({target}) failed: {exc}") from exc
         status = reply.get_text(wellknown.STATUS, "error")
         if status != "ok":
             error = reply.get_text(wellknown.ERROR, "launch failed")
+            span.end(outcome="rejected", error=error)
+            if telemetry.enabled:
+                telemetry.metrics.inc("agent.migration_failures", op="go")
             raise MigrationError(f"go({target}) rejected: {error}")
         # The move succeeded: terminate this instance.
         self.moved = True
+        span.end(outcome="ok")
+        if telemetry.enabled:
+            telemetry.metrics.inc("agent.migrations", op="go")
+            telemetry.metrics.inc("agent.hops", agent=self.name)
         self.firewall.unregister_agent(self.registration.agent_id)
         if self.mailbox is not None:
             self.mailbox.close()
@@ -274,17 +296,35 @@ class AgentContext:
         """
         target = self._resolve(vm_target)
         transport = self._transport_briefcase()
+        telemetry = self.kernel.telemetry
+        span = telemetry.tracer.begin(
+            "spawn", category="agent", track=f"agent:{self.name}",
+            agent=self.name, src=self.host_name, dst=str(target),
+            dst_host=target.host)
         try:
             reply = yield from self.meet(target, transport, timeout=timeout)
         except (TaxError, NetworkError) as exc:
+            span.end(outcome="failed", error=str(exc))
+            if telemetry.enabled:
+                telemetry.metrics.inc("agent.migration_failures",
+                                      op="spawn")
             raise MigrationError(f"spawn({target}) failed: {exc}") from exc
         status = reply.get_text(wellknown.STATUS, "error")
         if status != "ok":
             error = reply.get_text(wellknown.ERROR, "launch failed")
+            span.end(outcome="rejected", error=error)
+            if telemetry.enabled:
+                telemetry.metrics.inc("agent.migration_failures",
+                                      op="spawn")
             raise MigrationError(f"spawn({target}) rejected: {error}")
         clone_uri = reply.get_text("AGENT-URI")
         if clone_uri is None:
+            span.end(outcome="failed", error="no clone URI")
             raise MigrationError("destination VM returned no clone URI")
+        span.end(outcome="ok", clone=clone_uri)
+        if telemetry.enabled:
+            telemetry.metrics.inc("agent.migrations", op="spawn")
+            telemetry.metrics.inc("agent.hops", agent=self.name)
         return AgentUri.parse(clone_uri)
 
     # -- time ------------------------------------------------------------------------------
@@ -293,9 +333,22 @@ class AgentContext:
         yield self.kernel.timeout(seconds)
 
     def charge(self, cost: Union[CostLedger, float]):
-        """Spend the virtual time a synchronous computation accumulated."""
-        seconds = cost.total_seconds if isinstance(cost, CostLedger) \
-            else float(cost)
+        """Spend the virtual time a synchronous computation accumulated.
+
+        A :class:`CostLedger` is flushed into the metrics registry and
+        the tracer (per-category ``cost.seconds`` series and cost spans)
+        before the sleep, so synchronous Webbot costs appear in traces
+        instead of vanishing with the discarded ledger.
+        """
+        if isinstance(cost, CostLedger):
+            labels = {"host": self.host_name}
+            if self.registration is not None:
+                labels["agent"] = self.name
+            seconds = self.kernel.telemetry.flush_ledger(
+                cost, track=f"cost:{self.host_name}",
+                start=self.kernel.now, **labels)
+        else:
+            seconds = float(cost)
         if seconds < 0:
             raise ValueError("cannot charge negative time")
         yield self.kernel.timeout(seconds)

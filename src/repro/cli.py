@@ -6,7 +6,12 @@ Commands:
   and print paper-vs-measured tables (all of them by default);
 - ``crawl`` — one ad-hoc link-check comparison (stationary vs mobile)
   on a synthetic site with configurable scale and network;
-- ``site`` — generate a synthetic site and print its statistics.
+- ``site`` — generate a synthetic site and print its statistics;
+- ``trace`` — run the traced quickstart itinerary and export the span
+  trace as Chrome ``trace_event`` JSON (Perfetto-loadable) or JSONL;
+- ``bench`` — run experiment E1 under telemetry and write a
+  machine-readable report (virtual-time rows + metrics snapshot +
+  wall-clock) to a JSON file.
 """
 
 from __future__ import annotations
@@ -77,6 +82,58 @@ def _cmd_site(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.demo import run_traced_quickstart
+
+    cluster, result = run_traced_quickstart()
+    tracer = cluster.telemetry.tracer
+    greetings = result.folder("GREETINGS").texts()
+    print(f"quickstart itinerary finished at t={cluster.kernel.now:.4f}s "
+          f"virtual; {len(greetings)} greetings, "
+          f"{len(tracer.spans)} spans, {len(tracer.instants)} instants")
+    wrote = False
+    try:
+        if args.chrome:
+            n = tracer.export_chrome(args.chrome)
+            print(f"wrote {n} trace events to {args.chrome} "
+                  "(load in https://ui.perfetto.dev)")
+            wrote = True
+        if args.jsonl:
+            n = tracer.export_jsonl(args.jsonl)
+            print(f"wrote {n} JSONL rows to {args.jsonl}")
+            wrote = True
+    except OSError as exc:
+        print(f"cannot write trace: {exc}", file=sys.stderr)
+        return 1
+    if not wrote:
+        print("(no output file requested; use --chrome and/or --jsonl)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.bench.experiments import run_e1
+    from repro.bench.runner import _report_to_dict
+
+    wall_start = time.perf_counter()
+    report = run_e1(seed=args.seed, telemetry=True)
+    wall = time.perf_counter() - wall_start
+    print(report.render())
+    document = _report_to_dict(report)
+    document["wall_seconds"] = wall
+    if args.json_path:
+        try:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"cannot write report: {exc}", file=sys.stderr)
+            return 1
+        print(f"\nwrote report ({wall:.1f}s wall) to {args.json_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -111,6 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
     site.add_argument("--redirects", type=float, default=0.0)
     site.add_argument("--robots", action="store_true")
     site.add_argument("--show-truth", action="store_true")
+
+    trace = sub.add_parser(
+        "trace", help="run the traced quickstart and export the spans")
+    trace.add_argument("--chrome", default=None, metavar="OUT.json",
+                       help="write a Chrome trace_event document here")
+    trace.add_argument("--jsonl", default=None, metavar="OUT.jsonl",
+                       help="write the span/instant rows as JSONL here")
+
+    bench = sub.add_parser(
+        "bench", help="run E1 under telemetry; write a JSON report")
+    bench.add_argument("--seed", type=int, default=2000)
+    bench.add_argument("--json", dest="json_path", default=None,
+                       metavar="BENCH_E1.json",
+                       help="write the machine-readable report here")
     return parser
 
 
@@ -126,6 +197,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_crawl(args)
     if args.command == "site":
         return _cmd_site(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -63,6 +63,10 @@ class FirewallAdmin(ServiceAgent):
             "runtime": self.kernel.now - registration.start_time,
             "paused": registration.paused,
             "alive": bool(getattr(process, "is_alive", False)),
+            # Per-agent counters from the system registry: messages
+            # in/out, bytes moved, hops, charged seconds.
+            "telemetry": self.kernel.telemetry.agent_stats(
+                registration.name),
         })
         return response
 

@@ -107,7 +107,8 @@ class Firewall:
         self.directory = directory or FirewallDirectory()
         self.registry = Registry()
         self.instances = InstanceAllocator(site_ordinal)
-        self.pending = PendingQueue(kernel, on_expire=self._on_expire)
+        self.pending = PendingQueue(kernel, on_expire=self._on_expire,
+                                    host=host.name)
         self.stats = DeliveryStats()
         self.events: List[Tuple[float, str]] = []
         #: VM name → object implementing launch_agent(); set by the node.
@@ -116,12 +117,24 @@ class Firewall:
 
     # -- logging --------------------------------------------------------------------
 
+    @property
+    def telemetry(self):
+        return self.kernel.telemetry
+
+    def _count(self, name: str, amount: float = 1, **labels) -> None:
+        """Increment a host-labelled counter (no-op when disabled)."""
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc(name, amount, host=self.host.name,
+                                  **labels)
+
     def log(self, text: str) -> None:
         if len(self.events) < EVENT_LOG_LIMIT:
             self.events.append((self.kernel.now, text))
 
     def _on_expire(self, message: Message) -> None:
         self.stats.expired += 1
+        self._count("fw.queue_expired")
         self.log(f"expired queued message for {message.target}")
 
     # -- registration (called by VMs) --------------------------------------------------
@@ -137,6 +150,7 @@ class Firewall:
             deliver_fn=deliver_fn, start_time=self.kernel.now,
             process=process)
         self.registry.add(registration)
+        self._count("fw.registrations", vm=vm_name)
         self.log(f"registered {agent_id} principal={principal} vm={vm_name}")
         self._flush_pending_for(registration)
         return registration
@@ -152,6 +166,7 @@ class Firewall:
         for message in self.pending.claim(
                 lambda target: self._pending_match(registration, target)):
             self.stats.delivered += 1
+            self._count("fw.queue_flushed")
             registration.deliver(message)
 
     def _pending_match(self, registration: Registration,
@@ -189,12 +204,14 @@ class Firewall:
         from repro.firewall.message import MAX_HOPS
         if message.hops >= MAX_HOPS:
             self.stats.rejected += 1
+            self._count("fw.rejected", reason="looping")
             self.log(f"dropped looping message for {message.target} "
                      f"(hops={message.hops})")
             return False
         peer = self.directory.lookup(message.target.host)
         if peer is None:
             self.stats.rejected += 1
+            self._count("fw.rejected", reason="no-route")
             self.log(f"no route to host {message.target.host!r}")
             raise AgentNotFoundError(
                 f"unknown host {message.target.host!r}")
@@ -205,9 +222,20 @@ class Firewall:
                 self.host.name, peer.host.name, wire_bytes)
         except NetworkError:
             self.stats.rejected += 1
+            self._count("fw.rejected", reason="link-down")
             self.log(f"transfer to {peer.host.name} failed")
             raise
         self.stats.forwarded_remote += 1
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("fw.forwarded_remote",
+                                  src=self.host.name,
+                                  dst=peer.host.name)
+            sender_name = message.sender.uri.name \
+                if message.sender.uri is not None else None
+            if sender_name:
+                telemetry.metrics.inc("agent.bytes_out", wire_bytes,
+                                      agent=sender_name)
         transported = message.snapshot_for_transport()
         return peer.receive_remote(transported)
 
@@ -218,8 +246,11 @@ class Firewall:
             message = self._authenticate(message)
         except TrustError as exc:
             self.stats.rejected += 1
+            self._count("fw.auth", outcome="rejected")
             self.log(f"rejected remote message: {exc}")
             return False
+        self._count("fw.auth", outcome="verified"
+                    if message.sender.authenticated else "unsigned")
         return self._dispatch_local(message)
 
     def _authenticate(self, message: Message) -> Message:
@@ -259,13 +290,17 @@ class Firewall:
         except AgentNotFoundError:
             if message.queue_timeout > 0:
                 self.stats.queued += 1
+                self._count("fw.messages_queued")
                 self.log(f"queued message for absent {target}")
                 self.pending.park(local_message)
                 return True
             self.stats.rejected += 1
+            self._count("fw.rejected", reason="absent")
             return False
+        self._count("fw.routing_resolved")
         if not self.policy.can_send(message.sender, registration):
             self.stats.rejected += 1
+            self._count("fw.policy_rejected")
             self.log(f"policy rejected {message.sender.principal} -> "
                      f"{registration.agent_id}")
             raise AccessDeniedError(
@@ -274,8 +309,14 @@ class Firewall:
         delivered = registration.deliver(local_message)
         if delivered:
             self.stats.delivered += 1
+            telemetry = self.kernel.telemetry
+            if telemetry.enabled:
+                telemetry.metrics.inc("fw.delivered", host=self.host.name)
+                telemetry.metrics.inc("agent.messages_in",
+                                      agent=registration.name)
         else:
             self.stats.dropped_by_wrapper += 1
+            self._count("fw.dropped_by_wrapper")
             self.log(f"delivery to {registration.agent_id} dropped")
         return delivered
 

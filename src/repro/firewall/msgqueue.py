@@ -26,15 +26,23 @@ class _Pending:
     enqueued_at: float
     expires_at: float
     expired: bool = False
+    span: object = None
 
 
 class PendingQueue:
-    """Messages waiting for a matching registration, with per-message TTL."""
+    """Messages waiting for a matching registration, with per-message TTL.
+
+    Each parked message opens a ``fw.queue_wait`` span on the owning
+    firewall's track (``host`` label), closed with the outcome —
+    delivered or expired — so queue residency is visible in traces.
+    """
 
     def __init__(self, kernel: Kernel,
-                 on_expire: Optional[Callable[[Message], None]] = None):
+                 on_expire: Optional[Callable[[Message], None]] = None,
+                 host: str = ""):
         self.kernel = kernel
         self.on_expire = on_expire
+        self.host = host
         self._pending: List[_Pending] = []
         self.expired_count = 0
 
@@ -47,9 +55,22 @@ class PendingQueue:
             message=message,
             enqueued_at=self.kernel.now,
             expires_at=self.kernel.now + message.queue_timeout)
+        entry.span = self.kernel.telemetry.tracer.begin(
+            "fw.queue_wait", category="fw", track=f"fw:{self.host}",
+            target=str(message.target))
         self._pending.append(entry)
         self.kernel.spawn(self._expiry_watch(entry),
                           name=f"queue-ttl:{message.target}")
+
+    def _observe_wait(self, entry: _Pending, outcome: str) -> None:
+        telemetry = self.kernel.telemetry
+        if entry.span is not None:
+            entry.span.end(outcome=outcome)
+        if telemetry.enabled:
+            telemetry.metrics.observe(
+                "fw.queue_wait_seconds",
+                self.kernel.now - entry.enqueued_at,
+                host=self.host, outcome=outcome)
 
     def _expiry_watch(self, entry: _Pending):
         yield self.kernel.timeout(entry.expires_at - self.kernel.now)
@@ -57,6 +78,7 @@ class PendingQueue:
             self._pending.remove(entry)
             entry.expired = True
             self.expired_count += 1
+            self._observe_wait(entry, "expired")
             if self.on_expire is not None:
                 self.on_expire(entry.message)
 
@@ -67,6 +89,7 @@ class PendingQueue:
         for entry in self._pending:
             if accepts(entry.message.target):
                 claimed.append(entry.message)
+                self._observe_wait(entry, "delivered")
             else:
                 remaining.append(entry)
         self._pending = remaining

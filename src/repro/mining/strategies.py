@@ -132,6 +132,12 @@ def run_stationary(testbed: Testbed, tasks: Sequence[CrawlTask],
             else:
                 result["second_pass_invalid"] = []
             # The crawl was synchronous; spend its accumulated time now.
+            # Flushing the ledger first turns its per-category costs into
+            # metrics and cost:<host> spans laid over the sleep we take.
+            testbed.kernel.telemetry.flush_ledger(
+                ledger, track=f"cost:{origin.name}",
+                start=testbed.kernel.now, host=origin.name,
+                strategy="stationary", site=task.site_host)
             yield testbed.kernel.timeout(ledger.total_seconds)
             reports.append(condense_webbot_result(result, task.args()))
         return reports

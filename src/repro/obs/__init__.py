@@ -1,0 +1,36 @@
+"""repro.obs — system-wide telemetry for the TAX runtime.
+
+Three pieces, all zero-dependency and deterministic:
+
+- :mod:`repro.obs.metrics` — the metrics registry (counters, gauges,
+  histograms with labels);
+- :mod:`repro.obs.tracing` — the span tracer (virtual-time intervals,
+  JSONL and Chrome ``trace_event`` export);
+- :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the kernel
+  owns and every layer reaches as ``kernel.telemetry``.
+
+See ``docs/observability.md`` for the metric catalog and trace schema.
+(:mod:`repro.obs.demo` — the traced quickstart scenario behind ``repro
+trace`` — is deliberately *not* imported here: it pulls in the system
+layer, which itself imports this package.)
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (  # noqa: F401
+    NULL_SPAN,
+    Span,
+    Tracer,
+)
+from repro.obs.telemetry import Telemetry  # noqa: F401
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricError", "MetricsRegistry",
+    "DEFAULT_BUCKETS", "Span", "Tracer", "NULL_SPAN", "Telemetry",
+]

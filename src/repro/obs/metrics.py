@@ -1,0 +1,256 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+The registry is the system's numeric memory: every layer of the runtime
+(kernel, network, firewalls, VMs, agents) increments named time series
+here instead of keeping private ad-hoc tallies that vanish with their
+owner.  The design goals, in order:
+
+1. **Zero dependencies** — plain dictionaries, JSON-able snapshots.
+2. **Cheap when disabled** — every recording method checks one boolean
+   and returns; a disabled registry stores *nothing* and never allocates
+   per-call, so instrumentation can stay unconditionally wired into hot
+   paths.
+3. **Deterministic** — no wall-clock anywhere; ordering of snapshot
+   output is sorted, so two identical simulation runs produce identical
+   snapshots.
+
+Naming follows the ``subsystem.metric`` convention
+(``fw.messages_queued``, ``net.bytes_on_wire``); labels are free-form
+keyword arguments (``host=...``, ``agent=...``).  Label values are
+stringified, and label *order* never matters — ``inc("x", a="1", b="2")``
+and ``inc("x", b="2", a="1")`` hit the same series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Histogram bucket upper bounds (seconds-oriented); +inf is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical, order-insensitive form of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricError(ValueError):
+    """A metric was redeclared with a conflicting kind."""
+
+
+class Metric:
+    """One named family of series, distinguished by label sets."""
+
+    kind = "metric"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str = ""):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelKey, object] = {}
+
+    # -- introspection -------------------------------------------------------
+
+    def series(self) -> Dict[LabelKey, object]:
+        return dict(self._series)
+
+    def value(self, **labels):
+        """The series value for exactly these labels (None if absent)."""
+        return self._series.get(_label_key(labels))
+
+    def samples(self) -> List[dict]:
+        """Sorted, JSON-able ``{"labels": ..., "value": ...}`` samples."""
+        return [{"labels": dict(key), "value": self._sample_value(raw)}
+                for key, raw in sorted(self._series.items())]
+
+    def _sample_value(self, raw):
+        return raw
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "help": self.help,
+                "samples": self.samples()}
+
+
+class Counter(Metric):
+    """Monotonically increasing value (int or float)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if not self.registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depths, temperatures)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        if not self.registry.enabled:
+            return
+        self._series[_label_key(labels)] = value
+
+    def add(self, delta: float, **labels) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + delta
+
+
+class _HistogramState:
+    __slots__ = ("count", "total", "minimum", "maximum", "bucket_counts")
+
+    def __init__(self, n_buckets: int):
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.bucket_counts = [0] * (n_buckets + 1)  # last = +inf
+
+
+class Histogram(Metric):
+    """Distribution of observed values over fixed buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(registry, name, help)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+
+    def observe(self, value: float, **labels) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = self._series[key] = _HistogramState(len(self.buckets))
+        state.count += 1
+        state.total += value
+        if state.minimum is None or value < state.minimum:
+            state.minimum = value
+        if state.maximum is None or value > state.maximum:
+            state.maximum = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                state.bucket_counts[i] += 1
+                return
+        state.bucket_counts[-1] += 1
+
+    def _sample_value(self, raw: _HistogramState) -> dict:
+        buckets = {f"{bound:g}": count for bound, count
+                   in zip(self.buckets, raw.bucket_counts)}
+        buckets["+inf"] = raw.bucket_counts[-1]
+        return {"count": raw.count, "sum": raw.total,
+                "min": raw.minimum, "max": raw.maximum,
+                "buckets": buckets}
+
+
+class MetricsRegistry:
+    """All metric families of one deployment.
+
+    Families are created lazily (``counter()``/``gauge()``/
+    ``histogram()`` are get-or-create) and the convenience recorders
+    (:meth:`inc`, :meth:`set_gauge`, :meth:`observe`) create the family
+    of the right kind on first use, so call sites need no setup.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._families: Dict[str, Metric] = {}
+
+    # -- family construction -------------------------------------------------
+
+    def _family(self, cls, name: str, help: str = "", **kwargs) -> Metric:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = cls(self, name, help, **kwargs)
+        elif not isinstance(family, cls):
+            raise MetricError(
+                f"metric {name!r} is a {family.kind}, not a {cls.kind}")
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._family(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._family(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._family(Histogram, name, help, buckets=buckets)
+
+    # -- convenience recorders ----------------------------------------------
+
+    def inc(self, name: str, amount: float = 1, **labels) -> None:
+        if not self.enabled:
+            return
+        self.counter(name).inc(amount, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        if not self.enabled:
+            return
+        self.gauge(name).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        if not self.enabled:
+            return
+        self.histogram(name).observe(value, **labels)
+
+    # -- reading -------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._families.get(name)
+
+    def value(self, name: str, default=None, **labels):
+        """The current value of one series (``default`` if absent)."""
+        family = self._families.get(name)
+        if family is None:
+            return default
+        found = family.value(**labels)
+        return default if found is None else found
+
+    def collect(self, prefix: str = "", **label_filter) -> List[dict]:
+        """Flat sample list, filtered by name prefix and label equality.
+
+        Each entry is ``{"name", "kind", "labels", "value"}``; used by
+        the firewall admin agent to answer per-agent ``stat`` queries.
+        """
+        wanted = {k: str(v) for k, v in label_filter.items()}
+        out: List[dict] = []
+        for name in sorted(self._families):
+            if not name.startswith(prefix):
+                continue
+            family = self._families[name]
+            for sample in family.samples():
+                labels = sample["labels"]
+                if all(labels.get(k) == v for k, v in wanted.items()):
+                    out.append({"name": name, "kind": family.kind,
+                                "labels": labels,
+                                "value": sample["value"]})
+        return out
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-able dump of every family (sorted, deterministic)."""
+        return {name: self._families[name].describe()
+                for name in sorted(self._families)}
+
+    def reset(self) -> None:
+        self._families.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<MetricsRegistry {state} "
+                f"families={len(self._families)}>")

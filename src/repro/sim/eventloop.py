@@ -32,6 +32,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.obs.telemetry import Telemetry
 from repro.sim.errors import (
     DeadKernel,
     EventAlreadyTriggered,
@@ -299,13 +300,19 @@ class Process(Event):
 class Kernel:
     """The event loop: a heap of (time, sequence, event) triples."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 telemetry: Optional[Telemetry] = None):
         self._now = float(start_time)
         self._heap: List[tuple] = []
         self._sequence = 0
         self._running = False
         self._dead = False
         self.processed_events = 0
+        #: The deployment's telemetry; disabled by default so plain
+        #: simulations pay one boolean check per event and nothing else.
+        self.telemetry = telemetry if telemetry is not None \
+            else Telemetry(enabled=False)
+        self.telemetry.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -349,6 +356,10 @@ class Kernel:
             raise SimulationError("event scheduled in the past")
         self._now = when
         self.processed_events += 1
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            metrics.inc("kernel.events_dispatched")
+            metrics.set_gauge("kernel.heap_depth", len(self._heap))
         event._fire()
 
     def run(self, until: Optional[float] = None,

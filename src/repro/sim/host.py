@@ -55,10 +55,17 @@ class SimHost:
             raise ValueError("reference_seconds must be non-negative")
         return reference_seconds / self.cpu_factor
 
+    def _record_cpu(self, seconds: float) -> None:
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("host.cpu_seconds", seconds,
+                                  host=self.name)
+
     def compute(self, reference_seconds: float):
         """A process step spending CPU time: ``yield from host.compute(s)``."""
         seconds = self.cpu_seconds(reference_seconds)
         self.cpu_stats.record(seconds)
+        self._record_cpu(seconds)
         yield self.kernel.timeout(seconds)
         return seconds
 
@@ -70,6 +77,7 @@ class SimHost:
         """
         seconds = self.cpu_seconds(reference_seconds)
         self.cpu_stats.record(seconds)
+        self._record_cpu(seconds)
         return seconds
 
     def __repr__(self) -> str:

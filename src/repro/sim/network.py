@@ -153,6 +153,17 @@ class Network:
         """Cost in seconds of moving ``nbytes`` from src to dst (no effect)."""
         return self.link_between(src, dst).transfer_time(nbytes)
 
+    def _record_traffic(self, link: Link, nbytes: int,
+                        seconds: float) -> None:
+        telemetry = self.kernel.telemetry
+        if not telemetry.enabled:
+            return
+        metrics = telemetry.metrics
+        metrics.inc("net.bytes_on_wire", nbytes, src=link.src, dst=link.dst)
+        metrics.inc("net.messages", src=link.src, dst=link.dst)
+        metrics.observe("net.transfer_seconds", seconds,
+                        src=link.src, dst=link.dst)
+
     def transfer(self, src: str, dst: str, nbytes: int):
         """A process step that spends the transfer time and records stats.
 
@@ -164,7 +175,12 @@ class Network:
             raise LinkDownError(f"link {src} -> {dst} is partitioned")
         seconds = link.transfer_time(nbytes)
         link.stats.record(nbytes, seconds)
+        self._record_traffic(link, nbytes, seconds)
+        span = self.kernel.telemetry.tracer.begin(
+            "net.transfer", category="net", track=f"net:{src}->{dst}",
+            bytes=nbytes)
         yield self.kernel.timeout(seconds)
+        span.end()
         return seconds
 
     def charge(self, src: str, dst: str, nbytes: int) -> float:
@@ -179,6 +195,7 @@ class Network:
             raise LinkDownError(f"link {src} -> {dst} is partitioned")
         seconds = link.transfer_time(nbytes)
         link.stats.record(nbytes, seconds)
+        self._record_traffic(link, nbytes, seconds)
         return seconds
 
     # -- accounting -----------------------------------------------------------

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.telemetry import Telemetry
 from repro.sim.network import (
     BANDWIDTH_1MBIT,
     BANDWIDTH_100MBIT,
@@ -53,6 +54,10 @@ class Testbed:
         return self.cluster.network
 
     @property
+    def telemetry(self):
+        return self.cluster.telemetry
+
+    @property
     def server(self) -> TaxNode:
         return self.servers[0]
 
@@ -86,7 +91,8 @@ def build_linkcheck_testbed(
         wan_latency: float = LATENCY_WAN,
         wan_bandwidth: float = BANDWIDTH_1MBIT,
         server_model: Optional[ServerModel] = None,
-        client_host: str = CLIENT_HOST) -> Testbed:
+        client_host: str = CLIENT_HOST,
+        telemetry: Optional[Telemetry] = None) -> Testbed:
     """The Section-5 experiment world.
 
     One TAX node on the client workstation, one on the web server; the
@@ -95,7 +101,7 @@ def build_linkcheck_testbed(
     """
     spec = spec or paper_site_spec(external_hosts=tuple(external_hosts))
     deployment = WebDeployment()
-    cluster = TaxCluster(web=deployment)
+    cluster = TaxCluster(web=deployment, telemetry=telemetry)
 
     client = cluster.add_node(client_host)
     server = cluster.add_node(spec.host)
@@ -120,13 +126,14 @@ def build_campus_testbed(
         client_latency: float = LATENCY_WAN,
         external_hosts: Sequence[str] = DEFAULT_EXTERNAL_HOSTS,
         seed: int = 2000,
-        client_host: str = "client.remote.example.org") -> Testbed:
+        client_host: str = "client.remote.example.org",
+        telemetry: Optional[Telemetry] = None) -> Testbed:
     """E4's world: a campus of web servers on a fast LAN, audited from a
     client that reaches the campus over a slow link."""
     if n_servers < 1:
         raise ValueError("campus needs at least one server")
     deployment = WebDeployment()
-    cluster = TaxCluster(web=deployment)
+    cluster = TaxCluster(web=deployment, telemetry=telemetry)
     client = cluster.add_node(client_host)
 
     servers: List[TaxNode] = []

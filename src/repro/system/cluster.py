@@ -15,6 +15,7 @@ from repro.core.uri import AgentUri
 from repro.firewall.auth import KeyChain, TrustStore
 from repro.firewall.firewall import FirewallDirectory
 from repro.firewall.policy import Policy
+from repro.obs.telemetry import Telemetry
 from repro.sim.eventloop import Kernel
 from repro.sim.host import HostRegistry, SimHost
 from repro.sim.network import Network
@@ -26,8 +27,8 @@ class TaxCluster:
 
     def __init__(self, kernel: Optional[Kernel] = None,
                  network: Optional[Network] = None,
-                 web=None):
-        self.kernel = kernel or Kernel()
+                 web=None, telemetry: Optional[Telemetry] = None):
+        self.kernel = kernel or Kernel(telemetry=telemetry)
         self.network = network or Network(self.kernel)
         self.web = web
         self.hosts = HostRegistry()
@@ -38,6 +39,11 @@ class TaxCluster:
         self._trusted: set = set()
         # Every deployment has the system principal, trusted everywhere.
         self.add_principal(SYSTEM_PRINCIPAL, trusted=True)
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The system-wide telemetry hub (owned by the kernel)."""
+        return self.kernel.telemetry
 
     # -- principals --------------------------------------------------------------------
 

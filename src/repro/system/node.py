@@ -60,6 +60,11 @@ class TaxNode:
         self.services: Dict[str, ServiceAgent] = {}
         self._booted = False
 
+    @property
+    def telemetry(self):
+        """The system-wide telemetry hub (owned by the kernel)."""
+        return self.kernel.telemetry
+
     # -- boot ---------------------------------------------------------------------
 
     def boot(self) -> "TaxNode":

@@ -97,6 +97,11 @@ class VirtualMachine:
 
     def handle_launch_message(self, message: Message):
         """Process one arriving agent briefcase (overridable)."""
+        telemetry = self.kernel.telemetry
+        host_name = self.node.host.name
+        span = telemetry.tracer.begin(
+            "vm.launch", category="vm", track=f"vm:{host_name}",
+            vm=self.name, sender=message.sender.principal)
         try:
             if not self.firewall.policy.can_launch(message.sender, self.name):
                 raise VMError(
@@ -112,9 +117,18 @@ class VirtualMachine:
             entry = yield from self.prepare_entry(message, payload)
         except TaxError as exc:
             self.launch_failures += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("vm.launch_failures",
+                                      host=host_name, vm=self.name)
+            span.end(outcome="error", error=str(exc))
             yield from self._nack(message, str(exc))
             return
         uri = self.launch_agent(message, entry)
+        span.end(outcome="ok", agent=uri)
+        if telemetry.enabled and span.duration is not None:
+            telemetry.metrics.observe(
+                "vm.launch_seconds", span.duration,
+                host=host_name, vm=self.name)
         yield from self._ack(message, uri)
 
     def prepare_entry(self, message: Message,
@@ -162,12 +176,22 @@ class VirtualMachine:
             self._run_agent(ctx, entry),
             name=f"{name}:{registration.instance}@{self.node.host.name}")
         registration.process = process
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("vm.activations",
+                                  host=self.node.host.name, vm=self.name)
+        ctx.run_span = telemetry.tracer.begin(
+            f"run:{name}", category="agent",
+            track=f"host:{self.node.host.name}",
+            agent=name, instance=registration.instance,
+            vm=self.name, principal=principal)
         wrappers.on_attach(ctx)
         wrappers.on_arrive(ctx)
         self.launched += 1
         return str(self.firewall.uri_for(registration))
 
     def _run_agent(self, ctx: AgentContext, entry: Callable):
+        outcome = "done"
         try:
             result = entry(ctx, ctx.briefcase)
             if inspect.isgenerator(result):
@@ -175,15 +199,20 @@ class VirtualMachine:
             return result
         except StopProcess:
             # The agent moved away with go(); cleanup already happened.
+            outcome = "moved"
             return "moved"
         except Interrupt as interrupt:
             ctx.log(f"interrupted: {interrupt.cause}")
+            outcome = "killed"
             return "killed"
         except TaxError as exc:
             ctx.log(f"agent failed: {exc}")
+            outcome = "failed"
             raise
         finally:
             ctx.finished = True
+            if ctx.run_span is not None:
+                ctx.run_span.end(outcome=outcome)
             if not ctx.moved:
                 ctx.wrappers.on_detach(ctx)
                 self.firewall.unregister_agent(ctx.registration.agent_id)

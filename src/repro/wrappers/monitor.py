@@ -13,19 +13,26 @@ The wrapper does two things, both without the wrapped agent's knowledge:
 - **status queries** — inbound messages with OP=``status-query`` are
   answered by the wrapper itself (consumed before the agent sees them).
 
-:class:`MonitorLog` is the matching "monitoring tool": a tiny collector
-that accumulates the reports for inspection.
+Both paths feed the system telemetry (:mod:`repro.obs`) as well: reports
+become instant events on the tracer, and status replies carry the live
+per-agent metrics the registry holds — so the rwWebbot protocol stays
+paper-faithful on the wire while the answers gain span/metric data.
+
+:class:`MonitorLog` is the matching "monitoring tool": a collector that
+accumulates the reports for inspection and, when given a tracer,
+reconstructs per-host residency spans from arrival/departure events.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.briefcase import Briefcase
 from repro.core.uri import AgentUri
 from repro.core import wellknown
 from repro.firewall.message import Message
+from repro.obs.tracing import Tracer
 from repro.wrappers.base import AgentWrapper
 
 OP_STATUS_QUERY = "status-query"
@@ -52,6 +59,15 @@ class MonitorWrapper(AgentWrapper):
     # -- reporting ------------------------------------------------------------------
 
     def _report(self, ctx, event: str, extra: Optional[dict] = None) -> None:
+        tag = self.config.get("tag", ctx.name if ctx.registration
+                              else "agent")
+        telemetry = ctx.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("monitor.reports", tag=tag, event=event)
+            telemetry.tracer.instant(
+                f"monitor.{event}", category="monitor",
+                track=f"host:{ctx.host_name}", tag=tag,
+                **(extra or {}))
         monitor = self.config.get("monitor")
         if monitor is None:
             return
@@ -59,8 +75,7 @@ class MonitorWrapper(AgentWrapper):
             "event": event,
             "agent": f"{ctx.name}:{ctx.instance}" if ctx.registration
             else ctx.vm_name,
-            "tag": self.config.get("tag", ctx.name if ctx.registration
-                                    else "agent"),
+            "tag": tag,
             "host": ctx.host_name,
             "t": ctx.now,
         }
@@ -82,13 +97,21 @@ class MonitorWrapper(AgentWrapper):
     # -- status queries ----------------------------------------------------------------
 
     def _status(self, ctx) -> dict:
-        return {
+        status = {
             "agent": f"{ctx.name}:{ctx.instance}",
             "host": ctx.host_name,
             "results_so_far": len(ctx.briefcase.folder(wellknown.RESULTS)),
             "stops_remaining": len(ctx.briefcase.folder("ITINERARY")),
             "t": ctx.now,
         }
+        # Live telemetry: the agent's own counters plus its open
+        # lifecycle span, pulled straight from the system registry.
+        telemetry = ctx.kernel.telemetry
+        status["telemetry"] = telemetry.agent_stats(ctx.name)
+        if telemetry.enabled and ctx.run_span is not None \
+                and not ctx.run_span.finished:
+            status["telemetry"]["running_since"] = ctx.run_span.start
+        return status
 
     def on_receive(self, ctx, message: Message) -> Optional[Message]:
         if message.briefcase.get_text(wellknown.OP) == OP_STATUS_QUERY:
@@ -112,16 +135,48 @@ class MonitorLog:
 
     Attach with :meth:`agent_main` as a py-ref agent, or wire
     :meth:`deliver` straight into a registration for test use.
+
+    The log delegates to a span :class:`~repro.obs.tracing.Tracer`
+    (its own by default, or the system one if passed in): every report
+    becomes an instant event, and each *arrived → departing/finished*
+    pair becomes a residency span ``at:<host>`` on the agent's monitor
+    track — so the paper's ad-hoc location log and the system trace are
+    one and the same timeline.
     """
 
-    def __init__(self):
+    def __init__(self, tracer: Optional[Tracer] = None):
         self.events = []
+        self.tracer = tracer if tracer is not None \
+            else Tracer(enabled=True)
+        #: tag → the latest unmatched "arrived" event, awaiting departure.
+        self._arrivals: Dict[str, dict] = {}
 
     def deliver(self, message: Message) -> bool:
         element = message.briefcase.get_first(EVENT_FOLDER)
-        if element is not None:
-            self.events.append(json.loads(element.as_text()))
+        if element is None:
+            return True
+        event = json.loads(element.as_text())
+        self.events.append(event)
+        self._trace(event)
         return True
+
+    def _trace(self, event: dict) -> None:
+        tag = event.get("tag", "agent")
+        track = f"monitor:{tag}"
+        kind = event.get("event", "report")
+        when = event.get("t", 0.0)
+        self.tracer.instant(f"monitor.{kind}", category="monitor",
+                            track=track, at=when, host=event.get("host"),
+                            agent=event.get("agent"))
+        if kind == "arrived":
+            self._arrivals[tag] = event
+            return
+        arrival = self._arrivals.pop(tag, None)
+        if arrival is not None and kind in ("departing", "finished"):
+            self.tracer.record(
+                f"at:{arrival.get('host')}", arrival.get("t", when), when,
+                category="monitor", track=track,
+                agent=arrival.get("agent"), outcome=kind)
 
     def locations(self) -> list:
         return [(e["t"], e["host"], e["event"]) for e in self.events]
@@ -131,3 +186,10 @@ class MonitorLog:
             if tag is None or event.get("tag") == tag:
                 return event["host"]
         return None
+
+    def residency_spans(self, tag: Optional[str] = None) -> list:
+        """The reconstructed ``at:<host>`` spans (one per visited host)."""
+        spans = self.tracer.find(category="monitor")
+        if tag is not None:
+            spans = [s for s in spans if s.track == f"monitor:{tag}"]
+        return [s for s in spans if s.name.startswith("at:")]

@@ -293,6 +293,127 @@ class TestAdminAgent:
         assert result["killed"] is True
 
 
+class TestTelemetryCounters:
+    """The firewall feeds the system metrics registry when enabled."""
+
+    def test_queue_timeout_increments_expired_counter(self, single_cluster):
+        single_cluster.telemetry.enable()
+        node = single_cluster.node("solo.test")
+        driver = node.driver()
+
+        def scenario():
+            yield from driver.send(AgentUri.parse("never"),
+                                   Briefcase(), queue_timeout=2)
+            yield single_cluster.kernel.timeout(5)
+        single_cluster.run(scenario())
+        metrics = single_cluster.telemetry.metrics
+        assert metrics.value("fw.queue_expired", host="solo.test") == 1
+        wait = metrics.value("fw.queue_wait_seconds",
+                             host="solo.test", outcome="expired")
+        assert wait.count == 1
+        spans = single_cluster.telemetry.tracer.find(
+            name="fw.queue_wait", track="fw:solo.test")
+        assert [s.args["outcome"] for s in spans] == ["expired"]
+        assert spans[0].duration == pytest.approx(2.0)
+
+    def test_queue_delivery_increments_delivered_outcome(self,
+                                                         single_cluster):
+        single_cluster.telemetry.enable()
+        node = single_cluster.node("solo.test")
+        driver = node.driver()
+
+        def scenario():
+            yield from driver.send(AgentUri.parse("late"),
+                                   Briefcase(), queue_timeout=30)
+            yield single_cluster.kernel.timeout(5)
+            collector(node, "late")
+            yield single_cluster.kernel.timeout(0)
+        single_cluster.run(scenario())
+        metrics = single_cluster.telemetry.metrics
+        wait = metrics.value("fw.queue_wait_seconds",
+                             host="solo.test", outcome="delivered")
+        assert wait.count == 1
+        assert metrics.value("fw.queue_expired", host="solo.test") is None
+
+    def test_auth_failure_increments_rejected_counter(self, pair_cluster):
+        pair_cluster.telemetry.enable()
+        case = TestAuthentication()
+        briefcase = case.signed_briefcase(pair_cluster, "alice",
+                                          tamper=True)
+        beta = pair_cluster.node("beta.test")
+        collector(beta, "sink")
+        driver = pair_cluster.node("alpha.test").driver(principal="alice")
+
+        def scenario():
+            yield from driver.send(
+                AgentUri.parse("tacoma://beta.test/sink"), briefcase)
+        pair_cluster.run(scenario())
+        metrics = pair_cluster.telemetry.metrics
+        assert metrics.value("fw.auth", host="beta.test",
+                             outcome="rejected") == 1
+        assert metrics.value("fw.auth", host="beta.test",
+                             outcome="verified") is None
+
+    def test_successful_auth_increments_verified(self, pair_cluster):
+        pair_cluster.telemetry.enable()
+        case = TestAuthentication()
+        briefcase = case.signed_briefcase(pair_cluster, "alice")
+        beta = pair_cluster.node("beta.test")
+        collector(beta, "sink")
+        driver = pair_cluster.node("alpha.test").driver(principal="alice")
+
+        def scenario():
+            yield from driver.send(
+                AgentUri.parse("tacoma://beta.test/sink"), briefcase)
+        pair_cluster.run(scenario())
+        metrics = pair_cluster.telemetry.metrics
+        assert metrics.value("fw.auth", host="beta.test",
+                             outcome="verified") == 1
+
+    def test_delivery_and_per_agent_counters(self, single_cluster):
+        single_cluster.telemetry.enable()
+        node = single_cluster.node("solo.test")
+        collector(node)
+        driver = node.driver()
+
+        def scenario():
+            yield from driver.send(AgentUri.parse("sink"),
+                                   Briefcase({"X": ["1"]}))
+        single_cluster.run(scenario())
+        metrics = single_cluster.telemetry.metrics
+        assert metrics.value("fw.delivered", host="solo.test") == 1
+        assert metrics.value("agent.messages_in", agent="sink") == 1
+        assert metrics.value("agent.messages_out", agent="driver") == 1
+
+    def test_admin_stat_includes_agent_telemetry(self, single_cluster):
+        single_cluster.telemetry.enable()
+        node = single_cluster.node("solo.test")
+        collector(node, "watched")
+        driver = node.driver()
+
+        def scenario():
+            yield from driver.send(AgentUri.parse("watched"), Briefcase())
+        single_cluster.run(scenario())
+        registration = node.firewall.registry.matches(
+            AgentUri.parse("watched"), "system")[0]
+        stat = TestAdminAgent().admin_call(
+            single_cluster, "stat", {"instance": registration.instance})
+        assert stat["telemetry"]["enabled"] is True
+        assert stat["telemetry"]["messages_in"] == 1
+        assert stat["telemetry"]["hops"] == 0
+
+    def test_disabled_telemetry_records_nothing(self, single_cluster):
+        node = single_cluster.node("solo.test")
+        collector(node)
+        driver = node.driver()
+
+        def scenario():
+            yield from driver.send(AgentUri.parse("sink"), Briefcase())
+        single_cluster.run(scenario())
+        assert single_cluster.telemetry.metrics.snapshot() == {}
+        assert single_cluster.telemetry.tracer.spans == []
+
+
 def sleeper_agent(ctx, bc):
     yield from ctx.sleep(10_000)
     return "overslept"

@@ -1,0 +1,173 @@
+"""Metrics registry semantics: families, labels, histograms, no-op mode."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", host="a")
+        registry.inc("hits", 2, host="b")
+        assert registry.value("hits", host="a") == 1
+        assert registry.value("hits", host="b") == 2
+        assert registry.value("hits") is None
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc("x", a="1", b="2")
+        registry.inc("x", b="2", a="1")
+        assert registry.value("x", b="2", a="1") == 2
+
+    def test_label_values_are_stringified(self):
+        registry = MetricsRegistry()
+        registry.inc("x", port=80)
+        assert registry.value("x", port="80") == 1
+
+    def test_counters_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("ups").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value() == 7
+
+    def test_gauges_can_fall(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("queue", 5, host="a")
+        registry.set_gauge("queue", 2, host="a")
+        assert registry.value("queue", host="a") == 2
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        sample = histogram.samples()[0]["value"]
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(5.555)
+        assert sample["min"] == 0.005
+        assert sample["max"] == 5.0
+        assert sample["buckets"] == {"0.01": 1, "0.1": 1, "1": 1,
+                                     "+inf": 1}
+
+    def test_boundary_value_falls_in_lower_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        sample = histogram.samples()[0]["value"]
+        assert sample["buckets"]["1"] == 1
+
+    def test_default_buckets_are_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+    def test_empty_bucket_list_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=())
+
+
+class TestRegistry:
+    def test_families_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert isinstance(registry.counter("c"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h"), Histogram)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("series")
+        with pytest.raises(MetricError):
+            registry.gauge("series")
+
+    def test_value_default_for_missing(self):
+        registry = MetricsRegistry()
+        assert registry.value("nope", default=0) == 0
+        registry.inc("yes", host="a")
+        assert registry.value("yes", 0, host="other") == 0
+
+    def test_collect_filters_by_prefix_and_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("fw.delivered", host="a")
+        registry.inc("fw.delivered", host="b")
+        registry.inc("net.bytes", 10, host="a")
+        rows = registry.collect("fw.", host="a")
+        assert [(r["name"], r["value"]) for r in rows] == \
+            [("fw.delivered", 1)]
+        assert len(registry.collect("")) == 3
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("z.last", host="b")
+        registry.inc("a.first")
+        registry.observe("m.hist", 0.5, host="a")
+        registry.set_gauge("g.now", 3.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        round_trip = json.loads(json.dumps(snapshot))
+        assert round_trip["a.first"]["kind"] == "counter"
+        assert round_trip["m.hist"]["samples"][0]["value"]["count"] == 1
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("x", host="b")
+            registry.inc("x", host="a")
+            registry.observe("y", 0.2)
+            return json.dumps(registry.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestDisabledRegistry:
+    def test_recording_is_a_no_op(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("c", host="a")
+        registry.set_gauge("g", 1)
+        registry.observe("h", 0.5)
+        assert registry.snapshot() == {}
+
+    def test_direct_family_recording_is_also_no_op(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        counter.inc(100)
+        assert counter.value() is None
+
+    def test_reenabling_records_again(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("x")
+        registry.enabled = True
+        registry.inc("x")
+        assert registry.value("x") == 1

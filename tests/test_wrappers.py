@@ -314,6 +314,87 @@ class TestMonitorWrapper:
         assert wrapper.on_receive(None, message) is message
         assert wrapper.messages_forwarded == 1
 
+    def test_status_query_carries_live_telemetry(self, single_cluster):
+        single_cluster.telemetry.enable()
+        node = single_cluster.node("solo.test")
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(pinger_agent),
+                               agent_name="watched")
+        briefcase.put("N", "0")
+        install_wrappers(briefcase,
+                         [WrapperSpec.by_ref(MonitorWrapper,
+                                             {"tag": "watched"})])
+        driver = node.driver()
+
+        def scenario():
+            reply = yield from driver.meet(
+                single_cluster.vm_uri("solo.test"), briefcase, timeout=60)
+            agent_uri = reply.get_text("AGENT-URI")
+            # One plain delivery first, so the counters have something.
+            yield from driver.send(AgentUri.parse(agent_uri),
+                                   Briefcase({"NOISE": ["x"]}))
+            query = Briefcase()
+            query.put(wellknown.OP, "status-query")
+            status = yield from driver.meet(AgentUri.parse(agent_uri),
+                                            query, timeout=60)
+            results = status.get_json(wellknown.RESULTS)
+            stop = Briefcase()
+            stop.put(wellknown.OP, "stop")
+            yield from driver.send(AgentUri.parse(agent_uri), stop)
+            return results
+        results = single_cluster.run(scenario())
+        telemetry = results["telemetry"]
+        assert telemetry["enabled"] is True
+        assert telemetry["messages_in"] >= 1
+        assert telemetry["hops"] == 0
+        assert "running_since" in telemetry
+        metrics = single_cluster.telemetry.metrics
+        assert metrics.value("monitor.reports", tag="watched",
+                             event="arrived") == 1
+
+
+class TestMonitorLog:
+    def _event_message(self, event, host, t, tag="bot"):
+        from repro.wrappers.monitor import EVENT_FOLDER
+        briefcase = Briefcase()
+        briefcase.put(EVENT_FOLDER, {"event": event, "host": host,
+                                     "t": t, "tag": tag,
+                                     "agent": f"{tag}:1"})
+        return Message(target=AgentUri.parse("monitor-tool"),
+                       briefcase=briefcase,
+                       sender=SenderInfo("system", host))
+
+    def test_residency_spans_reconstructed_from_reports(self):
+        log = MonitorLog()
+        for event, host, t in (("arrived", "a.test", 1.0),
+                               ("departing", "a.test", 3.0),
+                               ("arrived", "b.test", 4.0),
+                               ("finished", "b.test", 6.0)):
+            log.deliver(self._event_message(event, host, t))
+        spans = log.residency_spans("bot")
+        assert [(s.name, s.start, s.end_time) for s in spans] == \
+            [("at:a.test", 1.0, 3.0), ("at:b.test", 4.0, 6.0)]
+        assert [s.args["outcome"] for s in spans] == \
+            ["departing", "finished"]
+        # The classic location API is untouched.
+        assert log.last_known_host("bot") == "b.test"
+        assert len(log.locations()) == 4
+
+    def test_instants_recorded_for_every_report(self):
+        log = MonitorLog()
+        log.deliver(self._event_message("arrived", "a.test", 1.0))
+        assert len(log.tracer.instants) == 1
+        assert log.tracer.instants[0]["name"] == "monitor.arrived"
+        assert log.tracer.instants[0]["t"] == 1.0
+
+    def test_shared_tracer_is_used(self):
+        from repro.obs.tracing import Tracer
+        tracer = Tracer(enabled=True)
+        log = MonitorLog(tracer=tracer)
+        log.deliver(self._event_message("arrived", "a.test", 1.0))
+        log.deliver(self._event_message("departing", "a.test", 2.0))
+        assert tracer.find(track="monitor:bot")
+
 
 class TestLoggingWrapper:
     def test_counters_and_trace(self, single_cluster):
