@@ -21,6 +21,7 @@ from repro.core.errors import (
     CommTimeoutError,
     MigrationError,
     TaxError,
+    is_transient,
 )
 from repro.core.uri import AgentUri
 from repro.core import wellknown
@@ -47,8 +48,6 @@ WRAPPER_LAYER_SECONDS = 2e-5
 class AgentContext:
     """Execution context handed to every agent's main generator."""
 
-    _token_counter = itertools.count(1)
-
     def __init__(self, node, vm_name: str, briefcase: Briefcase,
                  principal: str, wrappers=None):
         if wrappers is None:
@@ -69,6 +68,28 @@ class AgentContext:
         #: Lifecycle span opened by the launching VM (None for drivers
         #: and service contexts, which are never launched).
         self.run_span = None
+        #: Transport retry configuration (None: fail on first error,
+        #: the pre-resilience behaviour).  See :meth:`configure_retry`.
+        self.retry_policy = None
+        self.retry_rng = None
+        #: Per-context meet-token counter.  Deliberately *not* shared
+        #: process-wide: token strings ride in briefcases, so a global
+        #: counter would make wire sizes (and thus virtual timings)
+        #: depend on how many meets earlier runs in the same process
+        #: happened to issue.  Tokens stay unique per mailbox because
+        #: they embed the instance id.
+        self._token_counter = itertools.count(1)
+
+    def configure_retry(self, policy, rng=None) -> None:
+        """Enable transport retries on ``send``/``meet`` (and therefore
+        ``go``/``spawn_to``/``call_service``, which ride on ``meet``).
+
+        ``policy`` is a :class:`repro.core.retry.RetryPolicy` (or None
+        to disable); ``rng`` an optional seeded stream for jitter —
+        without one delays are deterministic midpoints.
+        """
+        self.retry_policy = policy
+        self.retry_rng = rng
 
     # -- wiring (done by the VM at launch) -----------------------------------------
 
@@ -122,6 +143,21 @@ class AgentContext:
         return SenderInfo(principal=self.principal, host=self.host_name,
                           uri=self.uri, authenticated=True)
 
+    def _count_retry(self, op: str) -> None:
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            labels = {"op": op}
+            if self.registration is not None:
+                labels["agent"] = self.name
+            telemetry.metrics.inc("transport.retries", **labels)
+
+    def _retry_wait(self, op: str, retry_index: int):
+        """Spend the backoff before retry ``retry_index`` (a generator)."""
+        delay = self.retry_policy.delay(retry_index, self.retry_rng)
+        self._count_retry(op)
+        self.log(f"{op} retry #{retry_index + 1} in {delay:.3f}s")
+        yield self.kernel.timeout(delay)
+
     # -- communication primitives ------------------------------------------------------
 
     def send(self, target: Target, briefcase: Optional[Briefcase] = None,
@@ -144,7 +180,18 @@ class AgentContext:
         message = Message(target=target, briefcase=briefcase.snapshot(),
                           sender=self._sender_info(),
                           queue_timeout=queue_timeout)
-        ok = yield from self.firewall.submit(message)
+        retries = 0
+        while True:
+            try:
+                ok = yield from self.firewall.submit(message)
+                break
+            except (TaxError, NetworkError) as exc:
+                policy = self.retry_policy
+                if policy is None or retries >= policy.retries or \
+                        not is_transient(exc):
+                    raise
+                yield from self._retry_wait("send", retries)
+                retries += 1
         telemetry = self.kernel.telemetry
         if ok and telemetry.enabled and self.registration is not None:
             telemetry.metrics.inc("agent.messages_out", agent=self.name)
@@ -159,7 +206,7 @@ class AgentContext:
         def _poster():
             try:
                 yield from self.send(target, briefcase)
-            except TaxError as exc:
+            except (TaxError, NetworkError) as exc:
                 self.log(f"async send to {target} failed: {exc}")
         return self.kernel.spawn(_poster(), name=f"post:{target}")
 
@@ -184,19 +231,37 @@ class AgentContext:
 
     def meet(self, target: Target, briefcase: Briefcase,
              timeout: float = DEFAULT_MEET_TIMEOUT) -> Briefcase:
-        """RPC: send a briefcase, await the correlated reply briefcase."""
+        """RPC: send a briefcase, await the correlated reply briefcase.
+
+        With a retry policy configured, a reply that never arrives
+        (receiver crashed, request or reply lost) re-sends the request —
+        the token makes duplicate replies harmless — with exponential
+        backoff between rounds.  Transient *send* failures retry inside
+        :meth:`send` itself.
+        """
         token = f"mt-{self.instance}-{next(self._token_counter)}"
         briefcase.put(wellknown.MEET_TOKEN, token)
         briefcase.put(wellknown.REPLY_TO, str(self.uri))
         self._pending_tokens.add(token)
+        retries = 0
         try:
-            ok = yield from self.send(target, briefcase)
-            if not ok:
-                raise CommTimeoutError(f"meet with {target}: send was dropped")
-            reply = yield from self.recv(
-                timeout=timeout,
-                match=lambda m: m.briefcase.get_text(
-                    wellknown.MEET_TOKEN) == token)
+            while True:
+                ok = yield from self.send(target, briefcase)
+                if not ok:
+                    raise CommTimeoutError(
+                        f"meet with {target}: send was dropped")
+                try:
+                    reply = yield from self.recv(
+                        timeout=timeout,
+                        match=lambda m: m.briefcase.get_text(
+                            wellknown.MEET_TOKEN) == token)
+                    break
+                except CommTimeoutError:
+                    policy = self.retry_policy
+                    if policy is None or retries >= policy.retries:
+                        raise
+                    yield from self._retry_wait("meet", retries)
+                    retries += 1
         finally:
             self._pending_tokens.discard(token)
         return reply.briefcase

@@ -759,6 +759,65 @@ def run_m1(seed: int = 2000) -> ExperimentReport:
     return report
 
 
+# -- R2: fault injection and end-to-end recovery ----------------------------------------------------
+
+
+def run_e_fault(seed: int = 7) -> ExperimentReport:
+    """Robustness: a mid-itinerary host crash, with and without the
+    recovery kit (heartbeat monitor + checkpoint wrapper + transport
+    retries + rear guard).
+
+    Without recovery the crash silently eats the agent and the run times
+    out with nothing; with it the rear guard relaunches the last
+    checkpoint at home, the itinerary skips the dead host (reporting it
+    unreachable) and every surviving site is still mined.  The insurance
+    is priced in bytes on the wire.
+    """
+    from repro.chaos.scenario import run_chaos
+
+    report = ExperimentReport(
+        "R2", "Fault injection: mid-itinerary host crash — completion "
+        "with vs without rear-guard recovery")
+    report.headers = ["variant", "sites_visited", "completion_rate",
+                      "unreachable", "relaunches", "remote_bytes",
+                      "elapsed_s"]
+
+    rows = {}
+    for variant, recovery in (("no-recovery", False),
+                              ("rear-guard-recovery", True)):
+        document = run_chaos(seed=seed, plan="mid-crash",
+                             recovery=recovery)
+        agent = document["agent"]
+        planned = agent["sites_planned"]
+        rows[variant] = (agent, document)
+        report.add_row(
+            variant, agent["sites_visited"],
+            agent["sites_visited"] / planned,
+            ",".join(agent["unreachable_hosts"]) or "-",
+            len(document["rear_guard"]["relaunches"]),
+            document["stats"]["remote_bytes"],
+            document["elapsed"])
+
+    bare, bare_doc = rows["no-recovery"]
+    insured, insured_doc = rows["rear-guard-recovery"]
+    planned = insured["sites_planned"]
+    byte_cost = insured_doc["stats"]["remote_bytes"] / \
+        max(bare_doc["stats"]["remote_bytes"], 1)
+    report.extras["byte_cost_factor"] = byte_cost
+    report.extras["retries"] = insured_doc["stats"]["transport_retries"]
+    report.add_claim(
+        "a host crash kills the bare agent outright, while the recovery "
+        "kit completes every surviving site and reports the dead host",
+        f"bare: {bare['sites_visited']}/{planned} sites, timed out; "
+        f"recovered: {insured['sites_visited']}/{planned} surviving "
+        f"sites, {byte_cost:.1f}x bytes",
+        bare["sites_visited"] == 0 and bare["timed_out"] and
+        insured["sites_visited"] == planned - 1 and
+        not insured["timed_out"] and
+        len(insured["unreachable_hosts"]) == 1)
+    return report
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -772,6 +831,7 @@ EXPERIMENTS = {
     "A1": run_a1,
     "M1": run_m1,
     "R1": run_r1,
+    "R2": run_e_fault,
 }
 
 

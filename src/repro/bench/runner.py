@@ -50,7 +50,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for experiment_id in ids:
         kwargs = {}
         if experiment_id in ("E1", "E2", "E3", "E4", "E5", "A1", "D1",
-                             "F3", "G1", "M1", "R1"):
+                             "F3", "G1", "M1", "R1", "R2"):
             kwargs["seed"] = args.seed
         report = run_experiment(experiment_id, **kwargs)
         print(report.render())

@@ -1,0 +1,163 @@
+"""RearGuard: detect a lost agent and relaunch its last checkpoint.
+
+The paper's fault-tolerance story needs a party that *stays behind*: the
+agent carries a :class:`~repro.wrappers.fault.CheckpointWrapper` (its
+briefcase is snapshotted into an ag_cabinet drawer at every hop) and a
+:class:`~repro.wrappers.monitor.MonitorWrapper` with a heartbeat, and
+the rear guard — a pseudo-agent registered at the home host — watches
+those heartbeats.  A crashed host sends *nothing* (no "finished", no
+heartbeat), so silence past the configured timeout is the loss signal;
+the guard then pulls the last checkpoint out of the cabinet and
+relaunches it on the first candidate VM whose host is still up
+(:func:`repro.wrappers.fault.recover`).
+
+The guard's registration doubles as the agent's monitor *and* its home:
+monitor events are absorbed by the delivery hook; every other message
+(the final report, meet replies) reaches the guard's mailbox, so the
+same context can launch the agent, run recoveries, and receive results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import TaxError
+from repro.core.uri import AgentUri
+from repro.agent.context import AgentContext
+from repro.agent.mailbox import Mailbox
+from repro.sim.network import NetworkError
+from repro.wrappers.fault import recover
+from repro.wrappers.monitor import EVENT_FOLDER, MonitorLog
+
+
+class RearGuard:
+    """Heartbeat watchdog + checkpoint relauncher for one agent."""
+
+    def __init__(self, node, cabinet: str, drawer: str,
+                 candidates: List[str],
+                 principal: str,
+                 tag: Optional[str] = None,
+                 heartbeat_timeout: float = 2.0,
+                 poll_interval: float = 0.5,
+                 max_relaunches: int = 3,
+                 name: str = "rear_guard"):
+        self.node = node
+        self.cabinet = cabinet
+        self.drawer = drawer
+        self.candidates = list(candidates)
+        self.tag = tag
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = poll_interval
+        self.max_relaunches = max_relaunches
+        self.monitor_log = MonitorLog()
+        #: Virtual time of the last report heard from the watched agent.
+        self.last_seen: Optional[float] = None
+        self.last_host: Optional[str] = None
+        self.finished = False
+        self.relaunches: List[Dict] = []
+        self.failures: List[Dict] = []
+        self._stopped = False
+
+        mailbox = Mailbox(node.kernel)
+        ctx = AgentContext(node, vm_name="vm_python",
+                           briefcase=Briefcase(), principal=principal)
+
+        def deliver(message) -> bool:
+            element = message.briefcase.get_first(EVENT_FOLDER)
+            if element is not None:
+                self._on_event(json.loads(element.as_text()))
+                self.monitor_log.deliver(message)
+                return True
+            return mailbox.deliver(message)
+
+        registration = node.firewall.register_agent(
+            name=name, principal=principal, vm_name="vm_python",
+            deliver_fn=deliver)
+        ctx.attach(registration, mailbox)
+        self.ctx = ctx
+
+    # -- event intake ---------------------------------------------------------------
+
+    def _on_event(self, event: dict) -> None:
+        if self.tag is not None and event.get("tag") != self.tag:
+            return
+        self.last_seen = self.node.kernel.now
+        self.last_host = event.get("host")
+        if event.get("event") == "finished":
+            self.finished = True
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def uri(self) -> str:
+        """The guard's address (use as both HOME and monitor URI)."""
+        return str(self.ctx.uri)
+
+    def silence(self) -> float:
+        """Seconds since the watched agent was last heard from."""
+        if self.last_seen is None:
+            return 0.0
+        return self.node.kernel.now - self.last_seen
+
+    def stop(self) -> None:
+        """End the watch loop at its next tick (the report arrived)."""
+        self._stopped = True
+
+    def stats(self) -> dict:
+        return {
+            "relaunches": list(self.relaunches),
+            "recovery_failures": list(self.failures),
+            "finished": self.finished,
+            "last_host": self.last_host,
+        }
+
+    # -- the watch loop ----------------------------------------------------------------
+
+    def _pick_candidate(self) -> Optional[str]:
+        network = self.node.network
+        for vm in self.candidates:
+            host = AgentUri.parse(vm).host
+            if host is None or network.host_is_up(host):
+                return vm
+        return None
+
+    def watch(self):
+        """Generator: poll for silence, recover on loss.  Spawn with
+        ``kernel.spawn(guard.watch())``; ends when the agent finishes,
+        :meth:`stop` is called, or the relaunch budget is spent."""
+        kernel = self.node.kernel
+        if self.last_seen is None:
+            self.last_seen = kernel.now
+        while not (self._stopped or self.finished):
+            yield kernel.timeout(self.poll_interval)
+            if self._stopped or self.finished:
+                return
+            if self.silence() <= self.heartbeat_timeout:
+                continue
+            if len(self.relaunches) >= self.max_relaunches:
+                self.ctx.log("rear guard: relaunch budget spent, giving up")
+                return
+            yield from self._recover_once()
+
+    def _recover_once(self):
+        kernel = self.node.kernel
+        vm = self._pick_candidate()
+        if vm is None:
+            self.failures.append({"at": kernel.now,
+                                  "error": "no live candidate host"})
+            self.last_seen = kernel.now  # back off one full timeout
+            return
+        self.ctx.log(f"rear guard: agent silent for "
+                     f"{self.silence():.3f}s, recovering onto {vm}")
+        try:
+            uri = yield from recover(self.ctx, self.cabinet, self.drawer, vm)
+        except (TaxError, NetworkError) as exc:
+            self.failures.append({"at": kernel.now, "vm": vm,
+                                  "error": str(exc)})
+            self.last_seen = kernel.now
+            return
+        self.relaunches.append({"at": kernel.now, "vm": vm, "uri": uri})
+        # Give the fresh incarnation a full window to start reporting.
+        self.last_seen = kernel.now

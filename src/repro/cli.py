@@ -11,7 +11,13 @@ Commands:
   trace as Chrome ``trace_event`` JSON (Perfetto-loadable) or JSONL;
 - ``bench`` — run experiment E1 under telemetry and write a
   machine-readable report (virtual-time rows + metrics snapshot +
-  wall-clock) to a JSON file.
+  wall-clock) to a JSON file;
+- ``chaos`` — run the quickstart-style survey itinerary under a named
+  fault plan (host crashes, restarts, link flaps, message drops) and
+  print the survival/recovery report as canonical JSON.  The output is
+  a pure function of ``(--seed, --plan, --no-recovery)``: running the
+  command twice must produce byte-for-byte identical JSON, which CI
+  asserts.
 """
 
 from __future__ import annotations
@@ -134,6 +140,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.scenario import render_chaos_json, run_chaos
+
+    document = run_chaos(seed=args.seed, plan=args.plan,
+                         recovery=not args.no_recovery)
+    print(render_chaos_json(document))
+    agent = document["agent"]
+    survived = agent["sites_visited"] > 0 and not agent["timed_out"]
+    return 0 if survived else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -182,6 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", dest="json_path", default=None,
                        metavar="BENCH_E1.json",
                        help="write the machine-readable report here")
+
+    from repro.chaos.scenario import PLAN_NAMES
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the survey itinerary under a fault plan; print JSON")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--plan", choices=PLAN_NAMES, default="mid-crash")
+    chaos.add_argument("--no-recovery", action="store_true",
+                       help="drop the recovery kit (monitor/checkpoint/"
+                            "retry/rear-guard): the baseline behaviour")
     return parser
 
 
@@ -201,6 +228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

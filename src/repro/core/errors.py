@@ -1,8 +1,22 @@
-"""Exception hierarchy for the TAX agent system."""
+"""Exception hierarchy for the TAX agent system.
+
+Errors carry a retryability classification used by the transport retry
+machinery (:mod:`repro.core.retry`): a class-level ``transient``
+attribute that is ``True`` for failures a retry may fix (link flaps,
+hosts mid-restart, queue timeouts), ``False`` for failures no retry can
+fix (policy denials, missing routes, bad payloads), and ``None`` for
+"unknown" — in which case :func:`is_transient` keeps walking the
+``__cause__`` chain, so a :class:`MigrationError` wrapping a
+``LinkDownError`` classifies by its cause.
+"""
 
 
 class TaxError(Exception):
     """Base class for all TAX errors."""
+
+    #: Retryability: True (transient), False (permanent), None (unknown —
+    #: classify by the exception's cause chain).
+    transient = None
 
 
 class BriefcaseError(TaxError):
@@ -32,7 +46,19 @@ class IdentityError(TaxError, ValueError):
     """An invalid principal or agent identifier."""
 
 
-class AccessDeniedError(TaxError):
+class TransientError(TaxError):
+    """A failure that may well succeed if the operation is retried."""
+
+    transient = True
+
+
+class PermanentError(TaxError):
+    """A failure that no amount of retrying can fix."""
+
+    transient = False
+
+
+class AccessDeniedError(PermanentError):
     """The firewall's reference monitor rejected an operation."""
 
 
@@ -43,16 +69,21 @@ class TrustError(AccessDeniedError):
 class AgentNotFoundError(TaxError):
     """No registered agent matches the given address."""
 
+    # Absent agents may still arrive (messages are parked for them), so
+    # a retry is meaningful; unknown *hosts* raise this too, which is
+    # permanent — the cause chain disambiguates in practice, so leave
+    # the classification unknown.
 
-class AmbiguousAgentError(TaxError):
+
+class AmbiguousAgentError(PermanentError):
     """A partially-specified address matched more than one agent."""
 
 
-class CommTimeoutError(TaxError):
+class CommTimeoutError(TransientError):
     """A queued message or a blocking receive timed out."""
 
 
-class VMError(TaxError):
+class VMError(PermanentError):
     """A virtual machine failed to host or execute an agent."""
 
 
@@ -70,3 +101,24 @@ class ServiceError(TaxError):
 
 class SandboxViolation(VMError):
     """Sandboxed agent code exceeded its budget or touched a denied capability."""
+
+
+def is_transient(exc: BaseException, max_depth: int = 16) -> bool:
+    """True when ``exc`` classifies as retryable.
+
+    Walks the ``__cause__``/``__context__`` chain until an exception
+    declares itself (``transient = True``/``False``); an undeclared
+    chain classifies as permanent — retrying an unknown failure is the
+    dangerous default.
+    """
+    seen = set()
+    current = exc
+    for _ in range(max_depth):
+        if current is None or id(current) in seen:
+            break
+        seen.add(id(current))
+        verdict = getattr(current, "transient", None)
+        if verdict is not None:
+            return bool(verdict)
+        current = current.__cause__ or current.__context__
+    return False

@@ -62,6 +62,10 @@ WRAPPERS = "WRAPPERS"
 #: Trace of hosts visited, appended by the mobility machinery.
 TRAIL = "TRAIL"
 
+#: Transport retry policy (JSON RetryPolicy config) carried by the agent;
+#: the destination VM re-installs it into the new context at launch.
+RETRY = "RETRY-POLICY"
+
 SYSTEM_FOLDERS = frozenset({
     CODE, CODE_KIND, SIGNATURE, PRINCIPAL, AGENT_NAME, WRAPPERS,
 })

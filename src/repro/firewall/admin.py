@@ -48,7 +48,15 @@ class FirewallAdmin(ServiceAgent):
         return instance
 
     def op_stat(self, message: Message):
-        instance = self._instance_arg(message)
+        args = message.briefcase.get_json(wellknown.ARGS, {})
+        instance = args.get("instance") if isinstance(args, dict) else None
+        if not instance:
+            # Firewall-level stat: delivery counters, queue depth, and
+            # the dead-letter records (expired / crashed messages).
+            yield self.kernel.timeout(0)
+            response = Briefcase()
+            response.put(wellknown.RESULTS, self.firewall.stats_dict())
+            return response
         yield self.kernel.timeout(0)
         registration = self.firewall.registry.by_instance(instance)
         if registration is None:

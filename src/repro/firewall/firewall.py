@@ -281,7 +281,8 @@ class Firewall:
                 uri=message.sender.uri, authenticated=True),
             queue_timeout=message.queue_timeout, hops=message.hops)
 
-    def _dispatch_local(self, message: Message) -> bool:
+    def _dispatch_local(self, message: Message,
+                        retransmits: int = 0) -> bool:
         target = message.target.local()
         local_message = message.with_target(target)
         try:
@@ -292,7 +293,7 @@ class Firewall:
                 self.stats.queued += 1
                 self._count("fw.messages_queued")
                 self.log(f"queued message for absent {target}")
-                self.pending.park(local_message)
+                self.pending.park(local_message, retransmits=retransmits)
                 return True
             self.stats.rejected += 1
             self._count("fw.rejected", reason="absent")
@@ -320,6 +321,50 @@ class Firewall:
             self.log(f"delivery to {registration.agent_id} dropped")
         return delivered
 
+    # -- crash / restart (driven by the node) -------------------------------------------------
+
+    def crash(self, reason: str = "host-crash") -> int:
+        """Host crash: kill every registration, dead-letter parked messages.
+
+        Returns the number of registrations destroyed.  Resident agent
+        processes are interrupted (their generators unwind at the next
+        scheduler step); the pending queue's contents become
+        ``host-crash`` dead letters instead of silently vanishing.
+        """
+        killed = 0
+        for registration in self.registry.all():
+            process = registration.process
+            if process is not None and getattr(process, "is_alive", False):
+                process.interrupt(reason)
+            self.registry.remove(registration.agent_id)
+            killed += 1
+        records = self.pending.crash_flush()
+        self._count("fw.crashes")
+        self.log(f"crashed: {killed} registrations destroyed, "
+                 f"{len(records)} parked messages dead-lettered")
+        return killed
+
+    def retransmit_dead_letters(self, max_retransmits: int = 2) -> int:
+        """Redeliver dead letters after a restart instead of losing them.
+
+        Each eligible record goes back through local dispatch: delivered
+        immediately if its target re-registered, or re-parked with a
+        fresh TTL (carrying its retransmit count, so a message cannot
+        bounce through crashes forever).
+        """
+        redelivered = 0
+        for record in self.pending.take_retransmittable(max_retransmits):
+            self._count("fw.retransmits", reason=record.reason)
+            self.log(f"retransmitting dead letter for "
+                     f"{record.message.target} (reason={record.reason})")
+            try:
+                self._dispatch_local(record.message,
+                                     retransmits=record.retransmits + 1)
+                redelivered += 1
+            except TaxError as exc:
+                self.log(f"retransmit failed: {exc}")
+        return redelivered
+
     # -- addressing helpers ------------------------------------------------------------------
 
     def uri_for(self, registration: Registration) -> AgentUri:
@@ -339,6 +384,16 @@ class Firewall:
 
     def admin_list(self) -> List[Registration]:
         return self.registry.all()
+
+    def stats_dict(self) -> dict:
+        """Firewall-level stat: delivery counters, queue, dead letters."""
+        from dataclasses import asdict
+        return {
+            "host": self.host.name,
+            "delivery": asdict(self.stats),
+            "queued_now": len(self.pending),
+            "dead_letters": self.pending.dead_letter_records(),
+        }
 
     def admin_kill(self, instance: str) -> bool:
         """Terminate an agent: interrupt its process and unregister it."""

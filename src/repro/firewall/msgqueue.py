@@ -8,6 +8,12 @@ and will be waiting when it lands.
 
 Each queued message carries its own expiry; when an agent registers, the
 firewall offers it every queued message and delivers the matching ones.
+
+Messages that leave the queue without being delivered do not vanish:
+they become :class:`DeadLetter` records (reason ``expired`` or
+``host-crash``), retrievable through the firewall-admin ``stat``
+operation and eligible for retransmission when the host restarts (see
+:meth:`repro.firewall.firewall.Firewall.retransmit_dead_letters`).
 """
 
 from __future__ import annotations
@@ -19,6 +25,9 @@ from repro.core.uri import AgentUri
 from repro.firewall.message import Message
 from repro.sim.eventloop import Kernel
 
+#: Retained dead-letter records per queue (oldest dropped beyond this).
+DEAD_LETTER_LIMIT = 1000
+
 
 @dataclass
 class _Pending:
@@ -27,6 +36,29 @@ class _Pending:
     expires_at: float
     expired: bool = False
     span: object = None
+    #: Times this message has already been retransmitted after dying.
+    retransmits: int = 0
+
+
+@dataclass
+class DeadLetter:
+    """A parked message that left the queue undelivered."""
+
+    message: Message
+    enqueued_at: float
+    died_at: float
+    reason: str
+    retransmits: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "target": str(self.message.target),
+            "sender": self.message.sender.principal,
+            "enqueued_at": self.enqueued_at,
+            "died_at": self.died_at,
+            "reason": self.reason,
+            "retransmits": self.retransmits,
+        }
 
 
 class PendingQueue:
@@ -34,7 +66,8 @@ class PendingQueue:
 
     Each parked message opens a ``fw.queue_wait`` span on the owning
     firewall's track (``host`` label), closed with the outcome —
-    delivered or expired — so queue residency is visible in traces.
+    delivered, expired, or crashed — so queue residency is visible in
+    traces.
     """
 
     def __init__(self, kernel: Kernel,
@@ -45,16 +78,18 @@ class PendingQueue:
         self.host = host
         self._pending: List[_Pending] = []
         self.expired_count = 0
+        self.dead_letters: List[DeadLetter] = []
 
     def __len__(self) -> int:
         return len(self._pending)
 
-    def park(self, message: Message) -> None:
+    def park(self, message: Message, retransmits: int = 0) -> None:
         """Queue a message until a receiver appears or the TTL runs out."""
         entry = _Pending(
             message=message,
             enqueued_at=self.kernel.now,
-            expires_at=self.kernel.now + message.queue_timeout)
+            expires_at=self.kernel.now + message.queue_timeout,
+            retransmits=retransmits)
         entry.span = self.kernel.telemetry.tracer.begin(
             "fw.queue_wait", category="fw", track=f"fw:{self.host}",
             target=str(message.target))
@@ -72,6 +107,20 @@ class PendingQueue:
                 self.kernel.now - entry.enqueued_at,
                 host=self.host, outcome=outcome)
 
+    def _dead_letter(self, entry: _Pending, reason: str) -> DeadLetter:
+        record = DeadLetter(message=entry.message,
+                            enqueued_at=entry.enqueued_at,
+                            died_at=self.kernel.now, reason=reason,
+                            retransmits=entry.retransmits)
+        self.dead_letters.append(record)
+        if len(self.dead_letters) > DEAD_LETTER_LIMIT:
+            del self.dead_letters[0]
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("fw.dead_letters", host=self.host,
+                                  reason=reason)
+        return record
+
     def _expiry_watch(self, entry: _Pending):
         yield self.kernel.timeout(entry.expires_at - self.kernel.now)
         if entry in self._pending:
@@ -79,6 +128,7 @@ class PendingQueue:
             entry.expired = True
             self.expired_count += 1
             self._observe_wait(entry, "expired")
+            self._dead_letter(entry, "expired")
             if self.on_expire is not None:
                 self.on_expire(entry.message)
 
@@ -94,6 +144,30 @@ class PendingQueue:
                 remaining.append(entry)
         self._pending = remaining
         return claimed
+
+    def crash_flush(self) -> List[DeadLetter]:
+        """Host crash: every parked message becomes a dead letter."""
+        crashed, self._pending = self._pending, []
+        records = []
+        for entry in crashed:
+            self._observe_wait(entry, "crashed")
+            records.append(self._dead_letter(entry, "host-crash"))
+        return records
+
+    def take_retransmittable(self,
+                             max_retransmits: int = 2) -> List[DeadLetter]:
+        """Remove and return dead letters still eligible for another try."""
+        eligible, remaining = [], []
+        for record in self.dead_letters:
+            if record.retransmits < max_retransmits:
+                eligible.append(record)
+            else:
+                remaining.append(record)
+        self.dead_letters = remaining
+        return eligible
+
+    def dead_letter_records(self) -> List[dict]:
+        return [record.to_dict() for record in self.dead_letters]
 
     def peek_targets(self) -> List[AgentUri]:
         return [entry.message.target for entry in self._pending]

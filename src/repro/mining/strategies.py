@@ -80,6 +80,12 @@ class RunMetrics:
     def pages_scanned(self) -> int:
         return sum(report.get("pages_scanned", 0) for report in self.reports)
 
+    @property
+    def unreachable_hosts(self) -> List[str]:
+        """Hosts the itinerary could not reach (``go``-phase failures)."""
+        return sorted({f["host"] for f in self.failures
+                       if f.get("phase") == "go"})
+
     def merged_report(self) -> DeadLinkReport:
         parts = [DeadLinkReport.from_json(json.dumps(r))
                  for r in self.reports]

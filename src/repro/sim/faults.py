@@ -1,0 +1,204 @@
+"""Deterministic fault injection for the simulated network and hosts.
+
+A :class:`FaultPlan` is a *schedule*: a sorted list of
+:class:`FaultEvent` entries (link partitions/heals, host crashes and
+restarts) plus per-message drop/corruption probabilities.  Plans are
+either built explicitly (``plan.crash(at=3.0, host="b")``) or generated
+from a seed via :meth:`FaultPlan.generate`; both paths are fully
+deterministic — identical seeds replay identical fault schedules, which
+is what makes chaos runs reproducible byte-for-byte.
+
+The *application* of a plan is split in two:
+
+- timed events are driven by :class:`repro.chaos.engine.ChaosEngine`,
+  a kernel process that fires each event at its virtual time;
+- probabilistic per-message faults are rolled by a
+  :class:`FaultInjector` installed on the :class:`repro.sim.network.Network`,
+  which asks for a verdict on every non-loopback transfer.
+
+All injected faults flow into telemetry as ``faults.injected`` counters
+labelled by kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.rng import RandomStream, stream_from
+
+#: Event kinds understood by the chaos engine.
+KIND_LINK_DOWN = "link-down"
+KIND_LINK_UP = "link-up"
+KIND_CRASH = "crash"
+KIND_RESTART = "restart"
+
+_KINDS = (KIND_LINK_DOWN, KIND_LINK_UP, KIND_CRASH, KIND_RESTART)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: what happens, to whom, and when."""
+
+    at: float
+    kind: str
+    host: Optional[str] = None
+    link: Optional[Tuple[str, str]] = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind in (KIND_CRASH, KIND_RESTART) and self.host is None:
+            raise ValueError(f"{self.kind} event needs a host")
+        if self.kind in (KIND_LINK_DOWN, KIND_LINK_UP) and self.link is None:
+            raise ValueError(f"{self.kind} event needs a link")
+
+    def to_dict(self) -> dict:
+        body = {"at": self.at, "kind": self.kind}
+        if self.host is not None:
+            body["host"] = self.host
+        if self.link is not None:
+            body["link"] = list(self.link)
+        return body
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults plus message-level fault rates."""
+
+    name: str = "plan"
+    events: List[FaultEvent] = field(default_factory=list)
+    drop_probability: float = 0.0
+    corrupt_probability: float = 0.0
+
+    def __post_init__(self):
+        for p in (self.drop_probability, self.corrupt_probability):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("fault probabilities must be in [0, 1]")
+
+    # -- building -----------------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def link_down(self, at: float, a: str, b: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, KIND_LINK_DOWN, link=(a, b)))
+
+    def link_up(self, at: float, a: str, b: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, KIND_LINK_UP, link=(a, b)))
+
+    def flap(self, at: float, a: str, b: str,
+             duration: float) -> "FaultPlan":
+        """Partition a link at ``at`` and heal it ``duration`` later."""
+        self.link_down(at, a, b)
+        return self.link_up(at + duration, a, b)
+
+    def crash(self, at: float, host: str,
+              outage: Optional[float] = None) -> "FaultPlan":
+        """Crash ``host`` at ``at``; with ``outage`` set, restart it after."""
+        self.add(FaultEvent(at, KIND_CRASH, host=host))
+        if outage is not None:
+            self.restart(at + outage, host)
+        return self
+
+    def restart(self, at: float, host: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, KIND_RESTART, host=host))
+
+    # -- consuming ----------------------------------------------------------------
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in firing order (time, then kind/target for stability)."""
+        return sorted(self.events,
+                      key=lambda e: (e.at, e.kind, e.host or "",
+                                     e.link or ()))
+
+    @property
+    def horizon(self) -> float:
+        return max((e.at for e in self.events), default=0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "drop_probability": self.drop_probability,
+            "corrupt_probability": self.corrupt_probability,
+            "events": [e.to_dict() for e in self.sorted_events()],
+        }
+
+    # -- seeded generation ----------------------------------------------------------
+
+    @classmethod
+    def generate(cls, seed_or_stream, hosts: Sequence[str],
+                 links: Sequence[Tuple[str, str]] = (),
+                 horizon: float = 60.0,
+                 crashes: int = 1,
+                 outage: Tuple[float, float] = (2.0, 8.0),
+                 flaps: int = 0,
+                 flap_duration: Tuple[float, float] = (0.5, 2.0),
+                 drop_probability: float = 0.0,
+                 corrupt_probability: float = 0.0,
+                 name: str = "generated") -> "FaultPlan":
+        """A random-but-reproducible plan drawn from a seeded stream.
+
+        ``hosts`` are crash candidates; ``links`` are flap candidates.
+        The same ``(seed, arguments)`` always yields the same plan.
+        """
+        rng = stream_from(seed_or_stream, f"faultplan/{name}")
+        plan = cls(name=name, drop_probability=drop_probability,
+                   corrupt_probability=corrupt_probability)
+        hosts = list(hosts)
+        links = list(links)
+        for _ in range(crashes if hosts else 0):
+            host = rng.choice(hosts)
+            at = rng.uniform(0.0, horizon)
+            plan.crash(at, host, outage=rng.uniform(*outage))
+        for _ in range(flaps if links else 0):
+            a, b = rng.choice(links)
+            at = rng.uniform(0.0, horizon)
+            plan.flap(at, a, b, rng.uniform(*flap_duration))
+        return plan
+
+
+class FaultInjector:
+    """Per-message fault roller installed on a :class:`Network`.
+
+    The network asks for a :meth:`verdict` on every non-loopback
+    transfer; the injector rolls its seeded stream and answers ``None``
+    (deliver), ``"drop"`` or ``"corrupt"``.  Because the stream is
+    consumed once per transfer in simulation order, the whole fault
+    sequence is a pure function of the seed.
+    """
+
+    def __init__(self, plan: FaultPlan, seed_or_stream=0,
+                 telemetry=None):
+        self.plan = plan
+        self.rng: RandomStream = stream_from(
+            seed_or_stream, f"faults/{plan.name}")
+        self.telemetry = telemetry
+        self.rolls = 0
+        self.dropped = 0
+        self.corrupted = 0
+
+    def _count(self, kind: str) -> None:
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.metrics.inc("faults.injected", kind=kind)
+
+    def verdict(self, src: str, dst: str, nbytes: int) -> Optional[str]:
+        self.rolls += 1
+        if self.plan.drop_probability and \
+                self.rng.chance(self.plan.drop_probability):
+            self.dropped += 1
+            self._count("drop")
+            return "drop"
+        if self.plan.corrupt_probability and \
+                self.rng.chance(self.plan.corrupt_probability):
+            self.corrupted += 1
+            self._count("corrupt")
+            return "corrupt"
+        return None
+
+    def stats(self) -> Dict[str, int]:
+        return {"rolls": self.rolls, "dropped": self.dropped,
+                "corrupted": self.corrupted}

@@ -47,7 +47,15 @@ class SimHost:
         self.arch = arch
         self.cpu_factor = cpu_factor
         self.cpu_stats = CpuStats()
+        #: Crash state (mirrored into the network's host-up map, which
+        #: is what transfers consult).
+        self.up = True
         network.add_host(name)
+
+    def set_up(self, up: bool) -> None:
+        """Crash or revive this host, keeping the network map in sync."""
+        self.up = up
+        self.network.set_host_up(self.name, up)
 
     def cpu_seconds(self, reference_seconds: float) -> float:
         """Wall time this host needs for a reference-time workload."""

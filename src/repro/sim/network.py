@@ -42,13 +42,38 @@ LOOPBACK_LATENCY = 0.00001
 class NetworkError(SimulationError):
     """Base class for network failures."""
 
+    #: Retryability marker read by :func:`repro.core.errors.is_transient`.
+    transient = None
+
 
 class NoRouteError(NetworkError):
     """There is no link between the two hosts."""
 
+    transient = False
+
 
 class LinkDownError(NetworkError):
     """The link exists but is partitioned."""
+
+    transient = True
+
+
+class HostDownError(NetworkError):
+    """An endpoint host is crashed (transfers to/from it fail)."""
+
+    transient = True
+
+
+class TransferDroppedError(NetworkError):
+    """The message was lost on the wire (injected fault)."""
+
+    transient = True
+
+
+class TransferCorruptedError(NetworkError):
+    """The payload arrived garbled and failed its integrity check."""
+
+    transient = True
 
 
 @dataclass
@@ -100,6 +125,11 @@ class Network:
         self._hosts: set = set()
         self.default_latency = default_latency
         self.default_bandwidth = default_bandwidth
+        #: Hosts currently crashed (everything else is implicitly up).
+        self._down_hosts: set = set()
+        #: Optional fault injector (see :mod:`repro.sim.faults`): asked
+        #: for a verdict on every non-loopback transfer.
+        self.fault_injector = None
 
     # -- topology -------------------------------------------------------------
 
@@ -147,6 +177,21 @@ class Network:
             else:
                 raise NoRouteError(f"no link {key[0]} -> {key[1]}")
 
+    def set_host_up(self, name: str, up: bool) -> None:
+        """Crash or revive a host (affects every transfer touching it)."""
+        if up:
+            self._down_hosts.discard(name)
+        else:
+            self._down_hosts.add(name)
+
+    def host_is_up(self, name: str) -> bool:
+        return name not in self._down_hosts
+
+    def _check_endpoints(self, src: str, dst: str) -> None:
+        for name in (src, dst):
+            if name in self._down_hosts:
+                raise HostDownError(f"host {name} is down")
+
     # -- traffic --------------------------------------------------------------
 
     def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
@@ -168,31 +213,60 @@ class Network:
         """A process step that spends the transfer time and records stats.
 
         Usage inside a process: ``yield from net.transfer(a, b, n)``.
-        Returns the elapsed seconds.
+        Returns the elapsed seconds.  Link stats are charged only for
+        transfers that *complete*: a partitioned link, a crashed
+        endpoint (before or during the transfer), or an injected fault
+        raises without recording traffic.
         """
         link = self.link_between(src, dst)
         if not link.up:
             raise LinkDownError(f"link {src} -> {dst} is partitioned")
+        self._check_endpoints(src, dst)
+        verdict = None
+        if self.fault_injector is not None and src != dst:
+            verdict = self.fault_injector.verdict(src, dst, nbytes)
         seconds = link.transfer_time(nbytes)
-        link.stats.record(nbytes, seconds)
-        self._record_traffic(link, nbytes, seconds)
         span = self.kernel.telemetry.tracer.begin(
             "net.transfer", category="net", track=f"net:{src}->{dst}",
             bytes=nbytes)
         yield self.kernel.timeout(seconds)
-        span.end()
+        try:
+            # An endpoint that crashed while the bytes were in flight
+            # drops the transfer.
+            self._check_endpoints(src, dst)
+            if verdict == "drop":
+                raise TransferDroppedError(
+                    f"message {src} -> {dst} lost on the wire")
+            if verdict == "corrupt":
+                raise TransferCorruptedError(
+                    f"payload {src} -> {dst} failed its integrity check")
+        except NetworkError as exc:
+            span.end(outcome="failed", error=str(exc))
+            return self._record_failure(link, exc)
+        link.stats.record(nbytes, seconds)
+        self._record_traffic(link, nbytes, seconds)
+        span.end(outcome="ok")
         return seconds
+
+    def _record_failure(self, link: Link, exc: NetworkError):
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("net.transfer_failures",
+                                  src=link.src, dst=link.dst,
+                                  kind=type(exc).__name__)
+        raise exc
 
     def charge(self, src: str, dst: str, nbytes: int) -> float:
         """Record a transfer and return its duration *without* waiting.
 
         Used by synchronous code (e.g. the stationary robot's HTTP client)
         that accumulates cost into a ledger and sleeps once at the end.
-        Raises if the link is partitioned.
+        Raises if the link is partitioned or an endpoint is down.
         """
         link = self.link_between(src, dst)
         if not link.up:
             raise LinkDownError(f"link {src} -> {dst} is partitioned")
+        self._check_endpoints(src, dst)
         seconds = link.transfer_time(nbytes)
         link.stats.record(nbytes, seconds)
         self._record_traffic(link, nbytes, seconds)

@@ -59,6 +59,10 @@ class TaxNode:
         self.vms: Dict[str, VirtualMachine] = {}
         self.services: Dict[str, ServiceAgent] = {}
         self._booted = False
+        #: Crash state: False between crash() and restart().  Wrappers
+        #: and services consult this to stay silent while "down".
+        self.alive = True
+        self._down_span = None
 
     @property
     def telemetry(self):
@@ -95,6 +99,55 @@ class TaxNode:
         self.services[service.name] = service
         service.boot()
         return service
+
+    # -- crash / restart ---------------------------------------------------------------
+
+    def crash(self, reason: str = "host-crash") -> int:
+        """Kill this host: resident agents die, queues are dead-lettered.
+
+        The host drops out of the network first (in-flight transfers to
+        or from it are lost), then every firewall registration — agents,
+        VMs, services — is interrupted and destroyed.  Returns the
+        number of registrations destroyed; a no-op (0) if already down.
+        """
+        if not self.alive:
+            return 0
+        self.alive = False
+        self.host.set_up(False)
+        telemetry = self.kernel.telemetry
+        self._down_span = telemetry.tracer.begin(
+            "host.down", category="fault", track=f"host:{self.host.name}",
+            host=self.host.name, reason=reason)
+        if telemetry.enabled:
+            telemetry.metrics.inc("host.crashes", host=self.host.name)
+        killed = self.firewall.crash(reason)
+        self.firewall.log(f"host {self.host.name} crashed ({reason})")
+        return killed
+
+    def restart(self) -> "TaxNode":
+        """Bring a crashed host back: re-register VMs and services.
+
+        Service *state* that models disk (cabinet drawers, the virtual
+        filesystem) survives; registrations and agent processes do not.
+        Dead-lettered messages from the crash are retransmitted with
+        fresh TTLs instead of being lost.
+        """
+        if self.alive:
+            return self
+        self.alive = True
+        self.host.set_up(True)
+        if self._down_span is not None:
+            self._down_span.end(outcome="restarted")
+            self._down_span = None
+        for vm in self.vms.values():
+            vm.boot()
+        for service in self.services.values():
+            service.boot()
+        retransmitted = self.firewall.retransmit_dead_letters()
+        self.firewall.log(
+            f"host {self.host.name} restarted "
+            f"({retransmitted} dead letters retransmitted)")
+        return self
 
     # -- driving the node from outside (experiments, tests) -----------------------------
 

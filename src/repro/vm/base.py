@@ -30,6 +30,7 @@ from typing import Callable, Optional, Tuple
 from repro.core.briefcase import Briefcase
 from repro.core.errors import TaxError, VMError
 from repro.core.identity import SYSTEM_PRINCIPAL
+from repro.core.retry import RetryPolicy
 from repro.core import wellknown
 from repro.agent.context import AgentContext
 from repro.agent.mailbox import Mailbox
@@ -172,6 +173,16 @@ class VirtualMachine:
             name=name, principal=principal, vm_name=self.name,
             deliver_fn=deliver)
         ctx.attach(registration, mailbox)
+        retry_config = briefcase.get_json(wellknown.RETRY)
+        if retry_config is not None:
+            # The policy travels with the agent; the jitter stream is
+            # re-derived per instance, so retry schedules stay
+            # deterministic across hops without shipping RNG state.
+            from repro.sim.rng import RandomStream
+            ctx.configure_retry(
+                RetryPolicy.from_config(retry_config),
+                RandomStream(int(retry_config.get("seed", 0)),
+                             name=f"retry/{registration.instance}"))
         process = self.kernel.spawn(
             self._run_agent(ctx, entry),
             name=f"{name}:{registration.instance}@{self.node.host.name}")

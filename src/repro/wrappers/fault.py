@@ -47,26 +47,30 @@ class CheckpointWrapper(AgentWrapper):
         self.points = tuple(self.config.get("on", ("arrive", "depart")))
         self.checkpoints_taken = 0
 
-    def _checkpoint(self, ctx) -> None:
+    def _checkpoint(self, ctx, point: str) -> None:
         request = ctx.briefcase.snapshot()
         request.put(wellknown.OP, "put")
         request.put("DRAWER", self.config["drawer"])
         ctx.post(AgentUri.parse(self.config["cabinet"]), request)
         self.checkpoints_taken += 1
+        telemetry = ctx.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("checkpoint.taken", point=point,
+                                  drawer=self.config["drawer"])
 
     def on_arrive(self, ctx) -> None:
         if "arrive" in self.points:
-            self._checkpoint(ctx)
+            self._checkpoint(ctx, "arrive")
 
     def on_depart(self, ctx, target: AgentUri) -> None:
         if "depart" in self.points:
-            self._checkpoint(ctx)
+            self._checkpoint(ctx, "depart")
 
     def on_send(self, ctx, target: AgentUri, briefcase: Briefcase):
         if "send" in self.points and \
                 briefcase.get_text(wellknown.OP) != "put":
             # (Skip the wrapper's own cabinet traffic to avoid recursion.)
-            self._checkpoint(ctx)
+            self._checkpoint(ctx, "send")
         return target, briefcase
 
 
@@ -90,7 +94,7 @@ def recover(ctx, cabinet: "str | AgentUri", drawer: str,
             f"{reply.get_text(wellknown.ERROR)}")
     checkpoint = reply.snapshot()
     for transport_folder in (wellknown.STATUS, wellknown.MEET_TOKEN,
-                             wellknown.REPLY_TO):
+                             wellknown.REPLY_TO, wellknown.ERROR):
         checkpoint.drop(transport_folder)
     vm_uri = vm_target if isinstance(vm_target, AgentUri) \
         else AgentUri.parse(vm_target)
@@ -99,4 +103,11 @@ def recover(ctx, cabinet: "str | AgentUri", drawer: str,
         raise MigrationError(
             f"recovery relaunch failed: "
             f"{launch_reply.get_text(wellknown.ERROR)}")
-    return launch_reply.get_text("AGENT-URI")
+    uri = launch_reply.get_text("AGENT-URI")
+    telemetry = ctx.kernel.telemetry
+    if telemetry.enabled:
+        telemetry.metrics.inc("recovery.relaunches", drawer=drawer)
+        telemetry.tracer.instant(
+            "recovery.relaunch", category="fault",
+            track=f"host:{ctx.host_name}", drawer=drawer, agent=uri)
+    return uri

@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterable, Optional
 
 from repro.core.briefcase import Briefcase
 from repro.core.errors import MigrationError, TaxError
+from repro.core.uri import AgentUri
 from repro.core import wellknown
 from repro.vm import loader
 
@@ -136,11 +137,35 @@ def _report_home(ctx, briefcase: Briefcase):
     return results
 
 
+def _stop_host(stop: Dict) -> Optional[str]:
+    """The planned host of an itinerary stop (None for local VM names)."""
+    try:
+        return AgentUri.parse(stop["vm"]).host
+    except TaxError:
+        return None
+
+
 def mobile_task_agent(ctx, briefcase: Briefcase):
     """Generic mobility wrapper: execute-here, hop, repeat, report."""
     briefcase.append(wellknown.TRAIL,
                      json.dumps({"host": ctx.host_name, "t": ctx.now}))
     stop = briefcase.get_json(CURRENT_STOP)
+    if stop is not None:
+        planned = _stop_host(stop)
+        if planned is not None and planned != ctx.host_name:
+            # Relaunched off-site — a rear-guard recovered this agent's
+            # checkpoint onto a surviving host.  Try to resume at the
+            # planned stop (CURRENT-STOP stays set, so the fresh
+            # incarnation executes there); if the host is still
+            # unreachable, skip the stop and report it.
+            try:
+                yield from ctx.go(stop["vm"])
+            except MigrationError as exc:
+                ctx.log(f"unable to resume at {stop['vm']}: {exc}")
+                briefcase.drop(CURRENT_STOP)
+                briefcase.append(FAILURES, {
+                    "host": planned, "phase": "go", "error": str(exc)})
+                stop = None
     if stop is not None:
         briefcase.drop(CURRENT_STOP)
         try:
@@ -164,4 +189,5 @@ def mobile_task_agent(ctx, briefcase: Briefcase):
             ctx.log(f"unable to reach {stop['vm']}: {exc}")
             briefcase.drop(CURRENT_STOP)
             briefcase.append(FAILURES, {
-                "host": stop["vm"], "phase": "go", "error": str(exc)})
+                "host": _stop_host(stop) or stop["vm"], "phase": "go",
+                "error": str(exc)})

@@ -46,7 +46,11 @@ class MonitorWrapper(AgentWrapper):
 
     - ``monitor``: URI string of the monitoring tool (optional — without
       it the wrapper only answers queries);
-    - ``tag``: label included in every report (defaults to the agent name).
+    - ``tag``: label included in every report (defaults to the agent name);
+    - ``heartbeat``: interval in seconds — when set, the wrapper posts a
+      periodic ``heartbeat`` report while the agent runs, which is what
+      lets a rear guard detect a *silently* lost agent (a crashed host
+      sends nothing, including no "finished").
     """
 
     kind = "monitor"
@@ -59,6 +63,11 @@ class MonitorWrapper(AgentWrapper):
     # -- reporting ------------------------------------------------------------------
 
     def _report(self, ctx, event: str, extra: Optional[dict] = None) -> None:
+        if not getattr(ctx.node, "alive", True):
+            # A crashed host reports nothing — not even the "finished"
+            # fired by the unwinding agent process.  Silence is the
+            # signal the rear guard acts on.
+            return
         tag = self.config.get("tag", ctx.name if ctx.registration
                               else "agent")
         telemetry = ctx.kernel.telemetry
@@ -83,6 +92,20 @@ class MonitorWrapper(AgentWrapper):
         briefcase = Briefcase()
         briefcase.put(EVENT_FOLDER, body)
         ctx.post(AgentUri.parse(monitor), briefcase)
+
+    def on_attach(self, ctx) -> None:
+        interval = self.config.get("heartbeat")
+        if interval:
+            ctx.kernel.spawn(self._heartbeat_loop(ctx, float(interval)),
+                             name=f"heartbeat:{ctx.vm_name}")
+
+    def _heartbeat_loop(self, ctx, interval: float):
+        while True:
+            yield ctx.kernel.timeout(interval)
+            if ctx.finished or ctx.moved or \
+                    not getattr(ctx.node, "alive", True):
+                return
+            self._report(ctx, "heartbeat")
 
     def on_arrive(self, ctx) -> None:
         self._report(ctx, "arrived")
@@ -171,8 +194,12 @@ class MonitorLog:
         if kind == "arrived":
             self._arrivals[tag] = event
             return
+        if kind not in ("departing", "finished"):
+            # Heartbeats and other periodic reports must not consume
+            # the pending arrival, or residency spans would break.
+            return
         arrival = self._arrivals.pop(tag, None)
-        if arrival is not None and kind in ("departing", "finished"):
+        if arrival is not None:
             self.tracer.record(
                 f"at:{arrival.get('host')}", arrival.get("t", when), when,
                 category="monitor", track=track,

@@ -1,0 +1,128 @@
+"""Error taxonomy (transient vs permanent) and retry policy tests."""
+
+import pytest
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import (
+    AccessDeniedError,
+    AgentNotFoundError,
+    CommTimeoutError,
+    PermanentError,
+    TaxError,
+    TransientError,
+    VMError,
+    is_transient,
+)
+from repro.core.retry import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    RetryPolicy,
+    install_retry,
+)
+from repro.core import wellknown
+from repro.sim.network import (
+    HostDownError,
+    LinkDownError,
+    NoRouteError,
+    TransferCorruptedError,
+    TransferDroppedError,
+)
+from repro.sim.rng import RandomStream
+
+
+class TestTaxonomy:
+    def test_transient_classes(self):
+        for cls in (TransientError, CommTimeoutError, LinkDownError,
+                    HostDownError, TransferDroppedError,
+                    TransferCorruptedError):
+            assert is_transient(cls("x")), cls
+
+    def test_permanent_classes(self):
+        for cls in (PermanentError, AccessDeniedError, VMError,
+                    NoRouteError):
+            assert not is_transient(cls("x")), cls
+
+    def test_unknown_defaults_to_permanent(self):
+        assert not is_transient(TaxError("unclassified"))
+        assert not is_transient(ValueError("not even a TaxError"))
+        assert not is_transient(AgentNotFoundError("ambiguous"))
+
+    def test_cause_chain_is_walked(self):
+        try:
+            try:
+                raise LinkDownError("flap")
+            except LinkDownError as inner:
+                raise TaxError("wrapped") from inner
+        except TaxError as outer:
+            assert is_transient(outer)
+
+    def test_context_chain_is_walked(self):
+        try:
+            try:
+                raise HostDownError("down")
+            except HostDownError:
+                raise TaxError("implicit context")
+        except TaxError as outer:
+            assert is_transient(outer)
+
+    def test_first_verdict_wins(self):
+        # A permanent error wrapping a transient one is still permanent.
+        try:
+            try:
+                raise LinkDownError("flap")
+            except LinkDownError as inner:
+                raise AccessDeniedError("denied") from inner
+        except AccessDeniedError as outer:
+            assert not is_transient(outer)
+
+    def test_cycle_safe(self):
+        a = TaxError("a")
+        b = TaxError("b")
+        a.__cause__ = b
+        b.__cause__ = a
+        assert not is_transient(a)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = DEFAULT_RETRY_POLICY
+        assert policy.retries == policy.max_attempts - 1
+        assert NO_RETRY.retries == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(10) == pytest.approx(0.5)
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.25)
+        a = [policy.delay(i, RandomStream(9, name="j")) for i in range(8)]
+        b = [policy.delay(i, RandomStream(9, name="j")) for i in range(8)]
+        assert a == b  # same seed, same schedule
+        for i, delay in enumerate(a):
+            nominal = policy.delay(i)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_config_round_trip(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.3,
+                             multiplier=3.0, max_delay=9.0, jitter=0.1)
+        assert RetryPolicy.from_config(policy.to_config()) == policy
+
+    def test_install_retry_travels_in_briefcase(self):
+        briefcase = Briefcase()
+        install_retry(briefcase, RetryPolicy(max_attempts=2), seed=42)
+        config = briefcase.get_json(wellknown.RETRY)
+        assert config["max_attempts"] == 2
+        assert config["seed"] == 42
+        assert RetryPolicy.from_config(config).max_attempts == 2

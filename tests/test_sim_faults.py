@@ -1,0 +1,178 @@
+"""Fault plans, the per-message fault injector, and host-down semantics."""
+
+import pytest
+
+from repro.sim.faults import (
+    KIND_CRASH,
+    KIND_LINK_DOWN,
+    KIND_LINK_UP,
+    KIND_RESTART,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.sim.network import (
+    HostDownError,
+    Network,
+    TransferDroppedError,
+)
+from repro.sim.rng import RandomStream
+
+
+class TestFaultEvent:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "meteor-strike", host="a")
+
+    def test_crash_needs_host(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, KIND_CRASH)
+
+    def test_link_event_needs_link(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, KIND_LINK_DOWN)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-0.1, KIND_CRASH, host="a")
+
+    def test_to_dict(self):
+        event = FaultEvent(2.0, KIND_LINK_UP, link=("a", "b"))
+        assert event.to_dict() == {"at": 2.0, "kind": "link-up",
+                                   "link": ["a", "b"]}
+
+
+class TestFaultPlan:
+    def test_builders_and_sorting(self):
+        plan = FaultPlan(name="p")
+        plan.crash(3.0, "b", outage=2.0)
+        plan.flap(1.0, "a", "b", 0.5)
+        kinds = [(e.at, e.kind) for e in plan.sorted_events()]
+        assert kinds == [(1.0, KIND_LINK_DOWN), (1.5, KIND_LINK_UP),
+                         (3.0, KIND_CRASH), (5.0, KIND_RESTART)]
+        assert plan.horizon == 5.0
+
+    def test_crash_without_outage_has_no_restart(self):
+        plan = FaultPlan().crash(1.0, "b")
+        assert [e.kind for e in plan.events] == [KIND_CRASH]
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_probability=1.5)
+
+    def test_to_dict_is_sorted_and_json_friendly(self):
+        plan = FaultPlan(name="p", drop_probability=0.1)
+        plan.crash(2.0, "b")
+        plan.link_down(1.0, "a", "b")
+        body = plan.to_dict()
+        assert body["name"] == "p"
+        assert [e["at"] for e in body["events"]] == [1.0, 2.0]
+
+    def test_generate_is_seed_deterministic(self):
+        kwargs = dict(hosts=["a", "b", "c"], links=[("a", "b")],
+                      horizon=30.0, crashes=2, flaps=1)
+        one = FaultPlan.generate(11, **kwargs)
+        two = FaultPlan.generate(11, **kwargs)
+        other = FaultPlan.generate(12, **kwargs)
+        assert one.to_dict() == two.to_dict()
+        assert one.to_dict() != other.to_dict()
+        assert sum(e.kind == KIND_CRASH for e in one.events) == 2
+        # every crash generated with an outage gets a paired restart
+        assert sum(e.kind == KIND_RESTART for e in one.events) == 2
+
+
+class TestFaultInjector:
+    def test_verdict_sequence_is_seed_deterministic(self):
+        plan = FaultPlan(drop_probability=0.3, corrupt_probability=0.2)
+        one = FaultInjector(plan, seed_or_stream=5)
+        two = FaultInjector(plan, seed_or_stream=5)
+        verdicts = [one.verdict("a", "b", 100) for _ in range(50)]
+        assert verdicts == [two.verdict("a", "b", 100) for _ in range(50)]
+        assert one.stats() == two.stats()
+        assert one.stats()["rolls"] == 50
+        assert one.stats()["dropped"] > 0
+
+    def test_clean_plan_never_faults(self):
+        injector = FaultInjector(FaultPlan(), seed_or_stream=5)
+        assert all(injector.verdict("a", "b", 1) is None
+                   for _ in range(20))
+        assert injector.stats() == {"rolls": 20, "dropped": 0,
+                                    "corrupted": 0}
+
+    def test_accepts_prebuilt_stream(self):
+        plan = FaultPlan(drop_probability=1.0)
+        injector = FaultInjector(plan,
+                                 seed_or_stream=RandomStream(1, name="x"))
+        assert injector.verdict("a", "b", 1) == "drop"
+
+
+@pytest.fixture
+def lan(kernel):
+    net = Network(kernel)
+    net.link("a", "b", latency=0.001, bandwidth=1000.0)
+    return net
+
+
+class TestHostDownSemantics:
+    def test_transfer_to_down_host_raises(self, kernel, lan):
+        lan.set_host_up("b", False)
+
+        def proc():
+            yield from lan.transfer("a", "b", 100)
+        with pytest.raises(HostDownError):
+            kernel.run_process(proc())
+        assert not lan.host_is_up("b")
+
+    def test_failed_transfer_not_charged(self, kernel, lan):
+        lan.set_host_up("b", False)
+
+        def proc():
+            yield from lan.transfer("a", "b", 100)
+        with pytest.raises(HostDownError):
+            kernel.run_process(proc())
+        stats = lan.stats_between("a", "b")
+        assert stats.messages == 0 and stats.payload_bytes == 0
+
+    def test_crash_mid_flight_drops_transfer(self, kernel, lan):
+        # The receiver dies while the bytes are on the wire: the transfer
+        # spends its time, then fails, and the link is never charged.
+        def killer():
+            yield kernel.timeout(0.05)
+            lan.set_host_up("b", False)
+
+        def proc():
+            kernel.spawn(killer())
+            yield from lan.transfer("a", "b", 500)  # 0.501 s on the wire
+        with pytest.raises(HostDownError):
+            kernel.run_process(proc())
+        assert kernel.now == pytest.approx(0.501)
+        assert lan.stats_between("a", "b").messages == 0
+
+    def test_revived_host_transfers_again(self, kernel, lan):
+        lan.set_host_up("b", False)
+        lan.set_host_up("b", True)
+
+        def proc():
+            yield from lan.transfer("a", "b", 100)
+        kernel.run_process(proc())
+        assert lan.stats_between("a", "b").messages == 1
+
+    def test_injected_drop_raises_and_not_charged(self, kernel, lan):
+        plan = FaultPlan(drop_probability=1.0)
+        lan.fault_injector = FaultInjector(plan, seed_or_stream=3)
+
+        def proc():
+            yield from lan.transfer("a", "b", 100)
+        with pytest.raises(TransferDroppedError):
+            kernel.run_process(proc())
+        assert lan.stats_between("a", "b").messages == 0
+        assert lan.fault_injector.stats()["dropped"] == 1
+
+    def test_loopback_exempt_from_injection(self, kernel, lan):
+        plan = FaultPlan(drop_probability=1.0)
+        lan.fault_injector = FaultInjector(plan, seed_or_stream=3)
+
+        def proc():
+            yield from lan.transfer("a", "a", 100)
+        kernel.run_process(proc())
+        assert lan.fault_injector.stats()["rolls"] == 0

@@ -26,6 +26,15 @@ def stepper_agent(ctx, bc):
     yield from ctx.sleep(1_000_000)
 
 
+def chatter_agent(ctx, bc):
+    """Sends three progress reports home, bumping COUNT before each."""
+    for tick in (1, 2, 3):
+        bc.put("COUNT", str(tick))
+        yield from ctx.send(bc.get_text("HOME"),
+                            Briefcase({"TICK": [str(tick)]}))
+    return "done"
+
+
 class TestCheckpointWrapper:
     def test_config_required(self):
         with pytest.raises(ValueError):
@@ -90,3 +99,60 @@ class TestCheckpointWrapper:
         wrapper = CheckpointWrapper({"cabinet": "c", "drawer": "d",
                                      "on": ["depart"]})
         assert wrapper.points == ("depart",)
+
+    def test_send_point_skips_cabinet_put_traffic(self):
+        # The wrapper's own checkpoint posts carry OP=put; on_send must
+        # pass them through untouched or every checkpoint would trigger
+        # another checkpoint.
+        wrapper = CheckpointWrapper({"cabinet": "c", "drawer": "d",
+                                     "on": ["send"]})
+        put = Briefcase()
+        put.put(wellknown.OP, "put")
+        target = AgentUri.parse("tacoma://home//ag_cabinet")
+        assert wrapper.on_send(None, target, put) == (target, put)
+        assert wrapper.checkpoints_taken == 0
+
+    def test_send_point_checkpoints_every_agent_send(self):
+        from repro.obs.telemetry import Telemetry
+        from repro.system.cluster import TaxCluster
+
+        cluster = TaxCluster(telemetry=Telemetry(enabled=True))
+        cluster.add_node("solo.test")
+        driver = cluster.node("solo.test").driver()
+        cabinet_uri = "tacoma://solo.test//ag_cabinet"
+        briefcase = Briefcase()
+        loader.install_payload(briefcase, loader.pack_ref(chatter_agent),
+                               agent_name="chatter")
+        briefcase.put("HOME", str(driver.uri))
+        install_wrappers(briefcase, [WrapperSpec.by_ref(
+            CheckpointWrapper,
+            {"cabinet": cabinet_uri, "drawer": "chatter-ckpt",
+             "on": ["send"]})])
+
+        def scenario():
+            yield from driver.meet(cluster.vm_uri("solo.test"),
+                                   briefcase, timeout=60)
+            seen = []
+            while len(seen) < 3:
+                message = yield from driver.recv(timeout=60)
+                seen.append(message.briefcase.get_text("TICK"))
+            yield cluster.kernel.timeout(1)  # let async puts land
+            return seen
+        assert cluster.run(scenario()) == ["1", "2", "3"]
+        taken = cluster.telemetry.metrics.value(
+            "checkpoint.taken", point="send", drawer="chatter-ckpt")
+        # one checkpoint per agent send; the cabinet puts themselves
+        # (3 of them) are filtered, so the count stays at 3
+        assert taken == 3
+
+        def fetch():
+            request = Briefcase()
+            request.put(wellknown.OP, "get")
+            request.put("DRAWER", "chatter-ckpt")
+            reply = yield from driver.meet(
+                AgentUri.parse(cabinet_uri), request, timeout=60)
+            return reply
+        reply = cluster.run(fetch())
+        assert reply.get_text(wellknown.STATUS) == "ok"
+        # the drawer holds the newest pre-send snapshot: TICK count 3
+        assert reply.get_text("COUNT") == "3"
