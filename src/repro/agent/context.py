@@ -20,6 +20,7 @@ from repro.core.briefcase import Briefcase
 from repro.core.errors import (
     CommTimeoutError,
     MigrationError,
+    OverloadError,
     TaxError,
     is_transient,
 )
@@ -161,11 +162,15 @@ class AgentContext:
     # -- communication primitives ------------------------------------------------------
 
     def send(self, target: Target, briefcase: Optional[Briefcase] = None,
-             queue_timeout: float = DEFAULT_QUEUE_TIMEOUT):
+             queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+             priority: int = 0):
         """``activate``: fire-and-forget send of a briefcase snapshot.
 
         ``ok = yield from ctx.send(target, bc)``.  The wrapper stack may
         rewrite or swallow the send (swallowed sends return False).
+        ``priority`` matters only under a receiver's ``shed-priority``
+        overflow policy: higher-priority messages may evict parked
+        lower-priority ones when its queue is full.
         """
         target = self._resolve(target)
         briefcase = briefcase if briefcase is not None else Briefcase()
@@ -179,13 +184,19 @@ class AgentContext:
         target, briefcase = filtered
         message = Message(target=target, briefcase=briefcase.snapshot(),
                           sender=self._sender_info(),
-                          queue_timeout=queue_timeout)
+                          queue_timeout=queue_timeout,
+                          priority=priority)
         retries = 0
         while True:
             try:
                 ok = yield from self.firewall.submit(message)
                 break
             except (TaxError, NetworkError) as exc:
+                if isinstance(exc, OverloadError):
+                    telemetry = self.kernel.telemetry
+                    if telemetry.enabled:
+                        telemetry.metrics.inc(
+                            "transport.overload_rejections", op="send")
                 policy = self.retry_policy
                 if policy is None or retries >= policy.retries or \
                         not is_transient(exc):

@@ -818,6 +818,85 @@ def run_e_fault(seed: int = 7) -> ExperimentReport:
     return report
 
 
+# -- R3: overload protection (admission control ablation) --------------------------------------------
+
+
+def run_r3(seed: int = 7) -> ExperimentReport:
+    """Robustness: one host flooded by N greedy principals, with and
+    without the firewall governor.
+
+    Ungoverned, the pending queue grows without bound (peak depth is the
+    whole offered load) and every probe at a dead host is re-attempted
+    forever.  Governed, the queue is capped, excess load is shed with
+    *transient* rejections that sender retry policies absorb — the flood
+    still completes — and the circuit breaker fast-fails the dead link.
+    Poison wire buffers are quarantined in both modes (decoder
+    hardening is unconditional).
+    """
+    from repro.bench.overload import run_overload
+
+    report = ExperimentReport(
+        "R3", "Overload protection: flooded host with vs without the "
+        "firewall governor (admission control, bounded queues, breakers)")
+    report.headers = ["variant", "completion_rate", "peak_queue_depth",
+                      "sheds", "retries", "breaker_fast_fails",
+                      "quarantined", "elapsed_s"]
+
+    docs = {}
+    for variant, governed in (("ungoverned", False), ("governed", True)):
+        document = run_overload(seed=seed, governed=governed)
+        docs[variant] = document
+        sheds = document["stats"]["quota_rejected"] + \
+            document["stats"]["queue_rejected"]
+        report.add_row(
+            variant, document["flood"]["completion_rate"],
+            document["target"]["queue_peak_depth"], sheds,
+            document["stats"]["transport_retries"],
+            document["breaker"]["fast_failed"],
+            document["target"]["quarantined"], document["elapsed"])
+
+    bare, governed = docs["ungoverned"], docs["governed"]
+    offered = bare["flood"]["offered"]
+    queue_cap = governed["target"]["governor"]["queue_limits"][
+        "max_messages"]
+    report.extras["peak_depths"] = {
+        "ungoverned": bare["target"]["queue_peak_depth"],
+        "governed": governed["target"]["queue_peak_depth"]}
+    report.add_claim(
+        "without the governor the pending queue absorbs the entire "
+        "offered load; with it, occupancy never exceeds the bound",
+        f"peak depth {bare['target']['queue_peak_depth']} ungoverned vs "
+        f"{governed['target']['queue_peak_depth']} governed "
+        f"(bound {queue_cap}, offered {offered})",
+        bare["target"]["queue_peak_depth"] >= offered and
+        governed["target"]["queue_peak_depth"] <= queue_cap)
+    report.add_claim(
+        "governed shedding is transient: sender retries absorb every "
+        "rejection and the flood still completes",
+        f"completion {governed['flood']['completion_rate']:.0%} with "
+        f"{governed['stats']['overload_rejections']} overload rejections "
+        f"and {governed['stats']['transport_retries']} retries",
+        governed["flood"]["completion_rate"] >= 0.95 and
+        governed["stats"]["overload_rejections"] > 0 and
+        governed["stats"]["transport_retries"] > 0)
+    report.add_claim(
+        "the circuit breaker fast-fails probes at the dead host instead "
+        "of re-attempting the doomed link",
+        f"fast-failed {governed['breaker']['fast_failed']} of "
+        f"{governed['breaker']['probes']} probes (ungoverned: 0)",
+        governed["breaker"]["fast_failed"] > 0 and
+        bare["breaker"]["fast_failed"] == 0)
+    report.add_claim(
+        "no poison wire buffer crashes a firewall; hostile input is "
+        "quarantined in both modes",
+        f"quarantined {bare['target']['quarantined']} ungoverned, "
+        f"{governed['target']['quarantined']} governed (the wire-limit "
+        f"violation is only caught when governed)",
+        bare["target"]["quarantined"] >= 2 and
+        governed["target"]["quarantined"] >= 3)
+    return report
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -832,6 +911,7 @@ EXPERIMENTS = {
     "M1": run_m1,
     "R1": run_r1,
     "R2": run_e_fault,
+    "R3": run_r3,
 }
 
 

@@ -17,7 +17,12 @@ Commands:
   print the survival/recovery report as canonical JSON.  The output is
   a pure function of ``(--seed, --plan, --no-recovery)``: running the
   command twice must produce byte-for-byte identical JSON, which CI
-  asserts.
+  asserts;
+- ``overload`` — flood one host from N greedy principals (plus a dead
+  host and poison wire buffers) with or without the firewall governor
+  and print the shedding/backpressure/breaker report as canonical
+  JSON.  Like ``chaos``, the output is a pure function of ``(--seed,
+  --no-governor)`` and CI diffs two runs byte-for-byte.
 """
 
 from __future__ import annotations
@@ -151,6 +156,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if survived else 1
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from repro.bench.overload import render_overload_json, run_overload
+
+    document = run_overload(seed=args.seed, governed=not args.no_governor)
+    print(render_overload_json(document))
+    # The flood is expected to complete even when the governor sheds:
+    # rejections are transient and the senders' retry policies absorb
+    # them.  A completion rate below 90% means backpressure broke
+    # delivery rather than smoothing it.
+    return 0 if document["flood"]["completion_rate"] >= 0.9 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -209,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-recovery", action="store_true",
                        help="drop the recovery kit (monitor/checkpoint/"
                             "retry/rear-guard): the baseline behaviour")
+
+    overload = sub.add_parser(
+        "overload",
+        help="flood one host with/without the governor; print JSON")
+    overload.add_argument("--seed", type=int, default=7)
+    overload.add_argument("--no-governor", action="store_true",
+                          help="run the ungoverned baseline: unbounded "
+                               "queues, no quotas, no breakers")
     return parser
 
 
@@ -230,6 +255,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "overload":
+        return _cmd_overload(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

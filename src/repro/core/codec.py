@@ -19,14 +19,39 @@ All integers are big-endian.  Folders are serialised in insertion order,
 which makes encode→decode→encode byte-identical (tested by property
 tests), while two briefcases that merely differ in folder insertion order
 still compare equal at the :class:`~repro.core.briefcase.Briefcase` level.
+
+Decoding is hardened against hostile or corrupt input: every read goes
+through a bounds-checked cursor and every structural field is validated
+against a :class:`~repro.core.limits.WireLimits`, so a truncated,
+oversized, or garbled buffer raises the typed
+:class:`~repro.core.errors.MalformedBriefcaseError` /
+:class:`~repro.core.errors.BriefcaseTooLargeError` (both
+:class:`~repro.core.errors.CodecError` subclasses) — never a bare
+``IndexError``/``struct.error``, and never an unbounded allocation.
 """
 
 from __future__ import annotations
 
 import struct
+from typing import Optional
 
 from repro.core.briefcase import Briefcase
-from repro.core.errors import CodecError
+from repro.core.errors import (
+    BriefcaseTooLargeError,
+    CodecError,
+    MalformedBriefcaseError,
+)
+from repro.core.limits import (
+    DEFAULT_WIRE_LIMITS,
+    MAX_ELEMENT_BYTES,
+    MAX_ELEMENTS,
+    MAX_FOLDERS,
+    WireLimits,
+)
+
+__all__ = ["encode", "decode", "encoded_size", "check_briefcase",
+           "MAGIC", "VERSION", "MAX_FOLDERS", "MAX_ELEMENTS",
+           "MAX_ELEMENT_BYTES"]
 
 MAGIC = b"TAXB"
 VERSION = 1
@@ -35,14 +60,17 @@ _U8 = struct.Struct(">B")
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
 
-#: Hard caps guarding against corrupt/hostile input.
-MAX_FOLDERS = 1_000_000
-MAX_ELEMENTS = 10_000_000
-MAX_ELEMENT_BYTES = 1 << 31
 
+def encode(briefcase: Briefcase,
+           limits: Optional[WireLimits] = None) -> bytes:
+    """Serialise a briefcase to its wire representation.
 
-def encode(briefcase: Briefcase) -> bytes:
-    """Serialise a briefcase to its wire representation."""
+    With ``limits`` the encoded form is checked against them first
+    (raising :class:`BriefcaseTooLargeError`) so an agent cannot even
+    *construct* an over-limit wire image.
+    """
+    if limits is not None:
+        check_briefcase(briefcase, limits)
     parts = [MAGIC, _U8.pack(VERSION)]
     folders = list(briefcase)
     parts.append(_U32.pack(len(folders)))
@@ -70,8 +98,56 @@ def encoded_size(briefcase: Briefcase) -> int:
     return size
 
 
+def check_briefcase(briefcase: Briefcase, limits: WireLimits) -> int:
+    """Validate a (decoded) briefcase against wire limits.
+
+    Returns the exact encoded size; raises
+    :class:`BriefcaseTooLargeError` on any violation.  Used by firewall
+    admission so oversized payloads are rejected before they spend
+    network time.
+    """
+    folders = list(briefcase)
+    if len(folders) > limits.max_folders:
+        raise BriefcaseTooLargeError(
+            f"briefcase has {len(folders)} folders "
+            f"(limit {limits.max_folders})")
+    total_elements = 0
+    for folder in folders:
+        n = len(folder)
+        if n > limits.max_elements_per_folder:
+            raise BriefcaseTooLargeError(
+                f"folder {folder.name!r} has {n} elements "
+                f"(limit {limits.max_elements_per_folder})")
+        total_elements += n
+        if len(folder.name.encode("utf-8")) > limits.max_name_bytes:
+            raise BriefcaseTooLargeError(
+                f"folder name {folder.name[:40]!r}... exceeds "
+                f"{limits.max_name_bytes} bytes")
+        for element in folder:
+            if len(element) > limits.max_element_bytes:
+                raise BriefcaseTooLargeError(
+                    f"element of {len(element)} bytes in folder "
+                    f"{folder.name!r} (limit {limits.max_element_bytes})")
+    if total_elements > limits.max_total_elements:
+        raise BriefcaseTooLargeError(
+            f"briefcase has {total_elements} elements in total "
+            f"(limit {limits.max_total_elements})")
+    size = encoded_size(briefcase)
+    if limits.max_encoded_bytes is not None and \
+            size > limits.max_encoded_bytes:
+        raise BriefcaseTooLargeError(
+            f"briefcase encodes to {size} bytes "
+            f"(limit {limits.max_encoded_bytes})")
+    return size
+
+
 class _Reader:
-    """Cursor over a bytes buffer with bounds checking."""
+    """Cursor over a bytes buffer with bounds checking.
+
+    Every short read raises the typed
+    :class:`~repro.core.errors.MalformedBriefcaseError` with offset
+    context instead of surfacing as a bare slice/struct error.
+    """
 
     def __init__(self, data: bytes):
         self.data = data
@@ -79,7 +155,7 @@ class _Reader:
 
     def take(self, n: int) -> bytes:
         if n < 0 or self.pos + n > len(self.data):
-            raise CodecError(
+            raise MalformedBriefcaseError(
                 f"truncated briefcase: wanted {n} bytes at offset {self.pos}, "
                 f"buffer has {len(self.data)}")
         chunk = self.data[self.pos:self.pos + n]
@@ -96,42 +172,79 @@ class _Reader:
         return _U32.unpack(self.take(_U32.size))[0]
 
     @property
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    @property
     def exhausted(self) -> bool:
         return self.pos == len(self.data)
 
 
-def decode(data: bytes) -> Briefcase:
-    """Parse a wire representation back into a briefcase."""
+def decode(data: bytes,
+           limits: Optional[WireLimits] = DEFAULT_WIRE_LIMITS) -> Briefcase:
+    """Parse a wire representation back into a briefcase.
+
+    ``limits`` (default :data:`~repro.core.limits.DEFAULT_WIRE_LIMITS`)
+    bounds what the parser will accept and allocate; pass ``None`` to
+    disable every cap except basic well-formedness.
+    """
+    if limits is not None and limits.max_encoded_bytes is not None and \
+            len(data) > limits.max_encoded_bytes:
+        raise BriefcaseTooLargeError(
+            f"wire buffer is {len(data)} bytes "
+            f"(limit {limits.max_encoded_bytes})")
+    max_folders = limits.max_folders if limits is not None else MAX_FOLDERS
+    max_per_folder = limits.max_elements_per_folder if limits is not None \
+        else MAX_ELEMENTS
+    max_total = limits.max_total_elements if limits is not None \
+        else MAX_ELEMENTS
+    max_element = limits.max_element_bytes if limits is not None \
+        else MAX_ELEMENT_BYTES
     reader = _Reader(data)
     if reader.take(len(MAGIC)) != MAGIC:
-        raise CodecError("bad magic: not a TAX briefcase")
+        raise MalformedBriefcaseError("bad magic: not a TAX briefcase")
     version = reader.u8()
     if version != VERSION:
-        raise CodecError(f"unsupported briefcase format version {version}")
+        raise MalformedBriefcaseError(
+            f"unsupported briefcase format version {version}")
     folder_count = reader.u32()
-    if folder_count > MAX_FOLDERS:
-        raise CodecError(f"implausible folder count {folder_count}")
+    if folder_count > max_folders:
+        raise MalformedBriefcaseError(
+            f"implausible folder count {folder_count}")
     briefcase = Briefcase()
+    total_elements = 0
     for _ in range(folder_count):
         name_len = reader.u16()
         try:
             name = reader.take(name_len).decode("utf-8")
         except UnicodeDecodeError as exc:
-            raise CodecError("folder name is not valid UTF-8") from exc
+            raise MalformedBriefcaseError(
+                "folder name is not valid UTF-8") from exc
         if not name:
-            raise CodecError("empty folder name on the wire")
+            raise MalformedBriefcaseError("empty folder name on the wire")
         if briefcase.has(name):
-            raise CodecError(f"duplicate folder {name!r} on the wire")
+            raise MalformedBriefcaseError(
+                f"duplicate folder {name!r} on the wire")
         element_count = reader.u32()
-        if element_count > MAX_ELEMENTS:
-            raise CodecError(f"implausible element count {element_count}")
+        if element_count > max_per_folder:
+            raise MalformedBriefcaseError(
+                f"implausible element count {element_count}")
+        total_elements += element_count
+        if total_elements > max_total:
+            raise MalformedBriefcaseError(
+                f"implausible total element count {total_elements}")
         folder = briefcase.folder(name)
         for _ in range(element_count):
             size = reader.u32()
-            if size > MAX_ELEMENT_BYTES:
-                raise CodecError(f"implausible element size {size}")
+            if size > max_element:
+                raise MalformedBriefcaseError(
+                    f"implausible element size {size}")
+            if size > reader.remaining:
+                raise MalformedBriefcaseError(
+                    f"truncated briefcase: declared element size {size} "
+                    f"exceeds the {reader.remaining} bytes left")
             folder.push(reader.take(size))
     if not reader.exhausted:
-        raise CodecError(
+        raise MalformedBriefcaseError(
             f"{len(data) - reader.pos} trailing bytes after briefcase")
     return briefcase

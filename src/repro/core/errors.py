@@ -38,6 +38,22 @@ class CodecError(TaxError):
     """A briefcase could not be encoded or decoded."""
 
 
+class MalformedBriefcaseError(CodecError):
+    """Wire bytes are truncated, corrupt, or structurally implausible.
+
+    No retry can repair a broken payload, so this classifies permanent;
+    receivers quarantine the offending message instead of crashing.
+    """
+
+    transient = False
+
+
+class BriefcaseTooLargeError(CodecError):
+    """A briefcase exceeds the configured wire limits (size or counts)."""
+
+    transient = False
+
+
 class UriSyntaxError(TaxError, ValueError):
     """An agent URI does not conform to the Figure-2 EBNF grammar."""
 
@@ -56,6 +72,28 @@ class PermanentError(TaxError):
     """A failure that no amount of retrying can fix."""
 
     transient = False
+
+
+class OverloadError(TransientError):
+    """Admission control shed this work; backing off and retrying may
+    succeed once the pressure drops (the governor's rejections are
+    deliberately transient so the PR 2 :class:`RetryPolicy` absorbs
+    them)."""
+
+
+class QueueFullError(OverloadError):
+    """A bounded message queue is at capacity and the overflow policy
+    rejects new arrivals."""
+
+
+class QuotaExceededError(OverloadError):
+    """A per-principal quota (message rate, bytes in flight, resident
+    agents, cabinet bytes) is exhausted."""
+
+
+class CircuitOpenError(OverloadError):
+    """A circuit breaker is open: the target failed repeatedly and calls
+    are fast-failed until the cooldown elapses."""
 
 
 class AccessDeniedError(PermanentError):

@@ -30,14 +30,22 @@ from repro.core.briefcase import Briefcase
 from repro.core.errors import (
     AccessDeniedError,
     AgentNotFoundError,
+    BriefcaseTooLargeError,
+    CircuitOpenError,
+    CodecError,
+    QueueFullError,
+    QuotaExceededError,
     TaxError,
     TrustError,
 )
 from repro.core.identity import AgentId, InstanceAllocator, SYSTEM_PRINCIPAL
+from repro.core.limits import DEFAULT_WIRE_LIMITS
 from repro.core.uri import AgentUri
 from repro.core import wellknown
 from repro.firewall.auth import Signature, TrustStore
+from repro.firewall.governor import Governor
 from repro.firewall.message import (
+    DEFAULT_QUEUE_TIMEOUT,
     DeliveryStats,
     ENVELOPE_OVERHEAD_BYTES,
     Message,
@@ -56,6 +64,9 @@ LOCAL_DISPATCH_SECONDS = 0.0002
 
 #: Maximum retained event-log entries per firewall.
 EVENT_LOG_LIMIT = 10_000
+
+#: Retained quarantine records for poison (undecodable) wire messages.
+QUARANTINE_LIMIT = 100
 
 
 class FirewallDirectory:
@@ -107,8 +118,23 @@ class Firewall:
         self.directory = directory or FirewallDirectory()
         self.registry = Registry()
         self.instances = InstanceAllocator(site_ordinal)
+        governor_config = self.policy.governor
+        self.governor = Governor(kernel, host.name, governor_config)
+        queue_kwargs = {}
+        if governor_config is not None:
+            queue_kwargs = {
+                "limits": governor_config.queue_limits,
+                "overflow": governor_config.overflow,
+                "dead_letter_limit": governor_config.dead_letter_limit,
+            }
         self.pending = PendingQueue(kernel, on_expire=self._on_expire,
-                                    host=host.name)
+                                    host=host.name, log=self.log,
+                                    **queue_kwargs)
+        if governor_config is not None and \
+                governor_config.breaker is not None:
+            network.configure_breakers(governor_config.breaker)
+        #: Poison wire messages that failed to decode (newest last).
+        self.quarantine: List[dict] = []
         self.stats = DeliveryStats()
         self.events: List[Tuple[float, str]] = []
         #: VM name → object implementing launch_agent(); set by the node.
@@ -143,7 +169,15 @@ class Firewall:
                        deliver_fn: Callable[[Message], bool],
                        process: Optional[object] = None,
                        instance: Optional[str] = None) -> Registration:
-        """Register a running agent; flushes any matching queued messages."""
+        """Register a running agent; flushes any matching queued messages.
+
+        Raises :class:`~repro.core.errors.QuotaExceededError` when the
+        principal's resident-agent quota is exhausted (the launch path
+        turns this into a nack the sender can back off on).
+        """
+        resident = sum(1 for r in self.registry.all()
+                       if r.principal == principal)
+        self.governor.admit_agent(principal, resident)
         agent_id = AgentId(name, instance or self.instances.next_instance())
         registration = Registration(
             agent_id=agent_id, principal=principal, vm_name=vm_name,
@@ -218,8 +252,21 @@ class Firewall:
         wire_bytes = codec.encoded_size(message.briefcase) + \
             ENVELOPE_OVERHEAD_BYTES
         try:
+            self.governor.check_wire(wire_bytes)
+        except BriefcaseTooLargeError:
+            self.stats.rejected += 1
+            self._count("fw.rejected", reason="oversized")
+            self.log(f"rejected oversized message for {message.target} "
+                     f"({wire_bytes} wire bytes)")
+            raise
+        try:
             yield from self.network.transfer(
                 self.host.name, peer.host.name, wire_bytes)
+        except CircuitOpenError:
+            self.stats.rejected += 1
+            self._count("fw.rejected", reason="circuit-open")
+            self.log(f"circuit to {peer.host.name} is open; fast-failed")
+            raise
         except NetworkError:
             self.stats.rejected += 1
             self._count("fw.rejected", reason="link-down")
@@ -238,6 +285,44 @@ class Firewall:
                                       agent=sender_name)
         transported = message.snapshot_for_transport()
         return peer.receive_remote(transported)
+
+    def receive_wire(self, data: bytes, target: AgentUri,
+                     sender: SenderInfo,
+                     queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+                     priority: int = 0) -> bool:
+        """Entry point for *raw wire bytes* from an untrusted peer.
+
+        The hostile-input path: the buffer is decoded under the
+        governor's wire limits, and anything that fails — truncated,
+        corrupt, oversized, structurally implausible — is quarantined
+        (``fw.poison_quarantined``) instead of crashing the firewall.
+        No input to this method can raise an untyped exception.
+        """
+        limits = self.governor.config.wire_limits or DEFAULT_WIRE_LIMITS
+        try:
+            briefcase = codec.decode(data, limits=limits)
+        except CodecError as exc:
+            self._quarantine_poison(len(data), sender, exc)
+            return False
+        return self.receive_remote(Message(
+            target=target, briefcase=briefcase, sender=sender,
+            queue_timeout=queue_timeout, priority=priority))
+
+    def _quarantine_poison(self, nbytes: int, sender: SenderInfo,
+                           exc: CodecError) -> None:
+        self.stats.rejected += 1
+        self._count("fw.poison_quarantined", kind=type(exc).__name__)
+        self.quarantine.append({
+            "at": self.kernel.now,
+            "sender": sender.principal,
+            "from_host": sender.host,
+            "bytes": nbytes,
+            "error": str(exc),
+        })
+        if len(self.quarantine) > QUARANTINE_LIMIT:
+            self.quarantine.pop(0)
+        self.log(f"quarantined poison message from "
+                 f"{sender.principal!r}@{sender.host}: {exc}")
 
     def receive_remote(self, message: Message) -> bool:
         """Entry point for messages arriving from a peer firewall."""
@@ -270,7 +355,8 @@ class Firewall:
                     host=message.sender.host,
                     uri=message.sender.uri,
                     authenticated=False),
-                queue_timeout=message.queue_timeout, hops=message.hops)
+                queue_timeout=message.queue_timeout, hops=message.hops,
+                priority=message.priority)
         signature = Signature.from_text(signature_text)
         principal = self.trust_store.verify(
             signature, code_signing_bytes(briefcase))
@@ -279,21 +365,51 @@ class Firewall:
             sender=SenderInfo(
                 principal=principal, host=message.sender.host,
                 uri=message.sender.uri, authenticated=True),
-            queue_timeout=message.queue_timeout, hops=message.hops)
+            queue_timeout=message.queue_timeout, hops=message.hops,
+            priority=message.priority)
 
     def _dispatch_local(self, message: Message,
-                        retransmits: int = 0) -> bool:
+                        retransmits: int = 0,
+                        admitted: bool = False) -> bool:
         target = message.target.local()
         local_message = message.with_target(target)
+        wire_bytes = codec.encoded_size(message.briefcase)
+        if not admitted:
+            # The dispatching firewall protects its own host: every
+            # message — local send, remote arrival — passes the governor
+            # before it may consume a mailbox or the pending queue.
+            # Retransmits were admitted on first dispatch (admitted=True)
+            # so a crash/restart cycle is not double-charged.
+            try:
+                self.governor.admit_message(
+                    message.sender.principal, wire_bytes,
+                    pending=self.pending)
+            except QuotaExceededError as exc:
+                self.stats.rejected += 1
+                self.log(f"governor rejected "
+                         f"{message.sender.principal!r}: {exc}")
+                raise
+            except BriefcaseTooLargeError:
+                self.stats.rejected += 1
+                self._count("fw.rejected", reason="oversized")
+                raise
         try:
             registration = self.registry.resolve_one(
                 target, message.sender.principal)
         except AgentNotFoundError:
             if message.queue_timeout > 0:
+                try:
+                    self.pending.park(local_message,
+                                      retransmits=retransmits,
+                                      wire_bytes=wire_bytes)
+                except QueueFullError:
+                    self.stats.rejected += 1
+                    self._count("fw.rejected", reason="queue-full")
+                    self.log(f"queue full; rejected message for {target}")
+                    raise
                 self.stats.queued += 1
                 self._count("fw.messages_queued")
                 self.log(f"queued message for absent {target}")
-                self.pending.park(local_message, retransmits=retransmits)
                 return True
             self.stats.rejected += 1
             self._count("fw.rejected", reason="absent")
@@ -359,7 +475,8 @@ class Firewall:
                      f"{record.message.target} (reason={record.reason})")
             try:
                 self._dispatch_local(record.message,
-                                     retransmits=record.retransmits + 1)
+                                     retransmits=record.retransmits + 1,
+                                     admitted=True)
                 redelivered += 1
             except TaxError as exc:
                 self.log(f"retransmit failed: {exc}")
@@ -386,13 +503,17 @@ class Firewall:
         return self.registry.all()
 
     def stats_dict(self) -> dict:
-        """Firewall-level stat: delivery counters, queue, dead letters."""
+        """Firewall-level stat: delivery counters, queue, dead letters,
+        governor admission state, and the poison quarantine."""
         from dataclasses import asdict
         return {
             "host": self.host.name,
             "delivery": asdict(self.stats),
             "queued_now": len(self.pending),
+            "queue": self.pending.accounting(),
             "dead_letters": self.pending.dead_letter_records(),
+            "governor": self.governor.snapshot(),
+            "quarantined": list(self.quarantine),
         }
 
     def admin_kill(self, instance: str) -> bool:

@@ -49,6 +49,10 @@ class Message:
     sender: SenderInfo
     queue_timeout: float = DEFAULT_QUEUE_TIMEOUT
     hops: int = 0
+    #: Shedding priority: under the ``shed-priority`` overflow policy a
+    #: bounded queue evicts lower-priority parked messages to make room
+    #: for a higher-priority arrival.  Higher is more important.
+    priority: int = 0
 
     def with_target(self, target: AgentUri) -> "Message":
         return replace(self, target=target)
@@ -59,7 +63,8 @@ class Message:
                        briefcase=self.briefcase.snapshot(),
                        sender=self.sender,
                        queue_timeout=self.queue_timeout,
-                       hops=self.hops + 1)
+                       hops=self.hops + 1,
+                       priority=self.priority)
 
 
 @dataclass

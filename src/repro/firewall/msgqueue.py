@@ -9,11 +9,34 @@ and will be waiting when it lands.
 Each queued message carries its own expiry; when an agent registers, the
 firewall offers it every queued message and delivers the matching ones.
 
+The queue is **bounded and backpressured**: configurable capacity in
+both message count and encoded bytes (:class:`~repro.core.limits.
+QueueLimits`), with a pluggable overflow policy —
+
+- ``reject`` (default): new arrivals beyond capacity raise the
+  *transient* :class:`~repro.core.errors.QueueFullError`, which the
+  sender's :class:`~repro.core.retry.RetryPolicy` absorbs with backoff;
+- ``drop-oldest``: the oldest parked messages are evicted (becoming
+  ``evicted`` dead letters) to make room;
+- ``shed-priority``: lower-priority parked messages are shed for a
+  higher-priority arrival; equal-or-higher parked traffic rejects the
+  newcomer.
+
+Occupancy is exported as ``fw.queue_depth``/``fw.queue_bytes`` gauges
+with ``fw.queue_peak_*`` high watermarks, and the accounting identity
+``offered == accepted + rejected`` / ``accepted == claimed + expired +
+crashed + evicted + len(queue)`` holds at every instant (property
+tested).
+
 Messages that leave the queue without being delivered do not vanish:
-they become :class:`DeadLetter` records (reason ``expired`` or
-``host-crash``), retrievable through the firewall-admin ``stat``
-operation and eligible for retransmission when the host restarts (see
-:meth:`repro.firewall.firewall.Firewall.retransmit_dead_letters`).
+they become :class:`DeadLetter` records (reason ``expired``,
+``host-crash``, or ``evicted``), retrievable through the firewall-admin
+``stat`` operation and eligible for retransmission when the host
+restarts (see :meth:`repro.firewall.firewall.Firewall.
+retransmit_dead_letters`).  The dead-letter ledger itself is capped
+(configurable ``dead_letter_limit``); trimming is *visible* — each
+trimmed record increments ``fw.dead_letter_evictions`` and logs the
+evicted message's sender and target.
 """
 
 from __future__ import annotations
@@ -21,12 +44,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.core.errors import QueueFullError
+from repro.core.limits import QueueLimits
 from repro.core.uri import AgentUri
+from repro.firewall.governor import (
+    DEFAULT_DEAD_LETTER_LIMIT,
+    OVERFLOW_DROP_OLDEST,
+    OVERFLOW_POLICIES,
+    OVERFLOW_REJECT,
+    OVERFLOW_SHED_PRIORITY,
+)
 from repro.firewall.message import Message
 from repro.sim.eventloop import Kernel
 
-#: Retained dead-letter records per queue (oldest dropped beyond this).
-DEAD_LETTER_LIMIT = 1000
+#: Retained dead-letter records per queue (kept as the historical name;
+#: the limit is per-queue configurable now).
+DEAD_LETTER_LIMIT = DEFAULT_DEAD_LETTER_LIMIT
 
 
 @dataclass
@@ -34,6 +67,7 @@ class _Pending:
     message: Message
     enqueued_at: float
     expires_at: float
+    wire_bytes: int = 0
     expired: bool = False
     span: object = None
     #: Times this message has already been retransmitted after dying.
@@ -66,34 +100,155 @@ class PendingQueue:
 
     Each parked message opens a ``fw.queue_wait`` span on the owning
     firewall's track (``host`` label), closed with the outcome —
-    delivered, expired, or crashed — so queue residency is visible in
-    traces.
+    delivered, expired, evicted, or crashed — so queue residency is
+    visible in traces.
     """
 
     def __init__(self, kernel: Kernel,
                  on_expire: Optional[Callable[[Message], None]] = None,
-                 host: str = ""):
+                 host: str = "",
+                 limits: Optional[QueueLimits] = None,
+                 overflow: str = OVERFLOW_REJECT,
+                 dead_letter_limit: int = DEAD_LETTER_LIMIT,
+                 log: Optional[Callable[[str], None]] = None):
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(f"unknown overflow policy {overflow!r}")
+        if dead_letter_limit < 1:
+            raise ValueError("dead_letter_limit must be positive")
         self.kernel = kernel
         self.on_expire = on_expire
         self.host = host
+        self.limits = limits or QueueLimits()
+        self.overflow = overflow
+        self.dead_letter_limit = dead_letter_limit
+        self.log = log
         self._pending: List[_Pending] = []
+        self._bytes = 0
         self.expired_count = 0
         self.dead_letters: List[DeadLetter] = []
+        self.dead_letter_evictions = 0
+        # Accounting (the conservation invariant the property tests pin):
+        # offered == accepted + rejected, and
+        # accepted == claimed + expired + crashed + evicted + len(self).
+        self.offered = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.evicted = 0
+        self.claimed = 0
+        self.crashed = 0
 
     def __len__(self) -> int:
         return len(self._pending)
 
-    def park(self, message: Message, retransmits: int = 0) -> None:
-        """Queue a message until a receiver appears or the TTL runs out."""
+    @property
+    def bytes(self) -> int:
+        """Encoded bytes currently parked."""
+        return self._bytes
+
+    def bytes_for_principal(self, principal: str) -> int:
+        """Parked bytes owned by one sender principal (quota input)."""
+        return sum(entry.wire_bytes for entry in self._pending
+                   if entry.message.sender.principal == principal)
+
+    # -- telemetry helpers -----------------------------------------------------------
+
+    def _note(self, text: str) -> None:
+        if self.log is not None:
+            self.log(text)
+
+    def _update_watermarks(self) -> None:
+        telemetry = self.kernel.telemetry
+        if not telemetry.enabled:
+            return
+        metrics = telemetry.metrics
+        depth = len(self._pending)
+        metrics.set_gauge("fw.queue_depth", depth, host=self.host)
+        metrics.set_gauge("fw.queue_bytes", self._bytes, host=self.host)
+        metrics.gauge("fw.queue_peak_depth").set_max(depth, host=self.host)
+        metrics.gauge("fw.queue_peak_bytes").set_max(self._bytes,
+                                                     host=self.host)
+
+    # -- admission -------------------------------------------------------------------
+
+    def _would_fit(self, extra_bytes: int) -> bool:
+        return self.limits.admits(len(self._pending) + 1,
+                                  self._bytes + extra_bytes)
+
+    def _evict_entry(self, entry: _Pending, policy: str) -> None:
+        self._pending.remove(entry)
+        self._bytes -= entry.wire_bytes
+        self.evicted += 1
+        self._observe_wait(entry, "evicted")
+        self._dead_letter(entry, "evicted")
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("fw.queue_evictions", host=self.host,
+                                  policy=policy)
+        self._note(f"queue evicted message for {entry.message.target} "
+                   f"(policy={policy})")
+
+    def _reject(self, message: Message, wire_bytes: int,
+                reason: str) -> None:
+        self.rejected += 1
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("fw.queue_rejected", host=self.host,
+                                  policy=self.overflow)
+        raise QueueFullError(
+            f"pending queue at {self.host or '?'} is full "
+            f"({len(self._pending)} msgs / {self._bytes} bytes; "
+            f"{reason}; message for {message.target} was {wire_bytes} "
+            f"bytes)")
+
+    def _make_room(self, message: Message, wire_bytes: int) -> None:
+        """Apply the overflow policy; raises or evicts until it fits."""
+        alone_fits = self.limits.admits(1, wire_bytes)
+        if self.overflow == OVERFLOW_REJECT or not alone_fits:
+            self._reject(message, wire_bytes,
+                         "policy rejects new arrivals" if alone_fits
+                         else "message alone exceeds the queue capacity")
+        if self.overflow == OVERFLOW_DROP_OLDEST:
+            while self._pending and not self._would_fit(wire_bytes):
+                self._evict_entry(self._pending[0], OVERFLOW_DROP_OLDEST)
+            return
+        # shed-priority: evict strictly lower-priority entries
+        # (lowest priority first, oldest first within a priority).
+        while not self._would_fit(wire_bytes):
+            sheddable = [e for e in self._pending
+                         if e.message.priority < message.priority]
+            if not sheddable:
+                self._reject(message, wire_bytes,
+                             "no lower-priority traffic to shed")
+            victim = min(sheddable,
+                         key=lambda e: (e.message.priority, e.enqueued_at))
+            self._evict_entry(victim, OVERFLOW_SHED_PRIORITY)
+
+    def park(self, message: Message, retransmits: int = 0,
+             wire_bytes: Optional[int] = None) -> None:
+        """Queue a message until a receiver appears or the TTL runs out.
+
+        Raises :class:`~repro.core.errors.QueueFullError` when the queue
+        is bounded, full, and the overflow policy cannot make room.
+        """
+        if wire_bytes is None:
+            from repro.core import codec
+            wire_bytes = codec.encoded_size(message.briefcase)
+        self.offered += 1
+        if self.limits.bounded and not self._would_fit(wire_bytes):
+            self._make_room(message, wire_bytes)
+        self.accepted += 1
         entry = _Pending(
             message=message,
             enqueued_at=self.kernel.now,
             expires_at=self.kernel.now + message.queue_timeout,
+            wire_bytes=wire_bytes,
             retransmits=retransmits)
         entry.span = self.kernel.telemetry.tracer.begin(
             "fw.queue_wait", category="fw", track=f"fw:{self.host}",
             target=str(message.target))
         self._pending.append(entry)
+        self._bytes += wire_bytes
+        self._update_watermarks()
         self.kernel.spawn(self._expiry_watch(entry),
                           name=f"queue-ttl:{message.target}")
 
@@ -113,9 +268,18 @@ class PendingQueue:
                             died_at=self.kernel.now, reason=reason,
                             retransmits=entry.retransmits)
         self.dead_letters.append(record)
-        if len(self.dead_letters) > DEAD_LETTER_LIMIT:
-            del self.dead_letters[0]
         telemetry = self.kernel.telemetry
+        if len(self.dead_letters) > self.dead_letter_limit:
+            trimmed = self.dead_letters.pop(0)
+            self.dead_letter_evictions += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("fw.dead_letter_evictions",
+                                      host=self.host)
+            self._note(
+                f"dead-letter ledger full ({self.dead_letter_limit}): "
+                f"dropped record from "
+                f"{trimmed.message.sender.principal!r} for "
+                f"{trimmed.message.target} (reason={trimmed.reason})")
         if telemetry.enabled:
             telemetry.metrics.inc("fw.dead_letters", host=self.host,
                                   reason=reason)
@@ -125,10 +289,12 @@ class PendingQueue:
         yield self.kernel.timeout(entry.expires_at - self.kernel.now)
         if entry in self._pending:
             self._pending.remove(entry)
+            self._bytes -= entry.wire_bytes
             entry.expired = True
             self.expired_count += 1
             self._observe_wait(entry, "expired")
             self._dead_letter(entry, "expired")
+            self._update_watermarks()
             if self.on_expire is not None:
                 self.on_expire(entry.message)
 
@@ -139,19 +305,27 @@ class PendingQueue:
         for entry in self._pending:
             if accepts(entry.message.target):
                 claimed.append(entry.message)
+                self.claimed += 1
+                self._bytes -= entry.wire_bytes
                 self._observe_wait(entry, "delivered")
             else:
                 remaining.append(entry)
         self._pending = remaining
+        if claimed:
+            self._update_watermarks()
         return claimed
 
     def crash_flush(self) -> List[DeadLetter]:
         """Host crash: every parked message becomes a dead letter."""
         crashed, self._pending = self._pending, []
+        self._bytes = 0
         records = []
         for entry in crashed:
+            self.crashed += 1
             self._observe_wait(entry, "crashed")
             records.append(self._dead_letter(entry, "host-crash"))
+        if records:
+            self._update_watermarks()
         return records
 
     def take_retransmittable(self,
@@ -171,3 +345,18 @@ class PendingQueue:
 
     def peek_targets(self) -> List[AgentUri]:
         return [entry.message.target for entry in self._pending]
+
+    def accounting(self) -> dict:
+        """The conservation counters (see the class docstring)."""
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "claimed": self.claimed,
+            "expired": self.expired_count,
+            "crashed": self.crashed,
+            "evicted": self.evicted,
+            "parked_now": len(self._pending),
+            "parked_bytes": self._bytes,
+            "dead_letter_evictions": self.dead_letter_evictions,
+        }

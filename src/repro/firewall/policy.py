@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Set
 
 from repro.core.identity import SYSTEM_PRINCIPAL
+from repro.firewall.governor import GovernorConfig
 from repro.firewall.message import SenderInfo
 from repro.firewall.routing import Registration
 
@@ -45,6 +46,12 @@ class Policy:
     default_launch: bool = True
     #: Require authentication for admin regardless of principal.
     admin_requires_auth: bool = True
+    #: Resource-governance rules (quotas, queue bounds, wire limits,
+    #: breakers).  ``None`` keeps the firewall ungoverned — pre-overload
+    #: behaviour.  Access rules and resource rules deploy together: the
+    #: reference monitor decides *may you*, the governor decides *may
+    #: you right now*.
+    governor: Optional[GovernorConfig] = None
 
     # -- rule management ----------------------------------------------------------
 

@@ -105,6 +105,15 @@ class Gauge(Metric):
         key = _label_key(labels)
         self._series[key] = self._series.get(key, 0) + delta
 
+    def set_max(self, value: float, **labels) -> None:
+        """Raise the series to ``value`` if higher (high-watermark)."""
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        current = self._series.get(key)
+        if current is None or value > current:
+            self._series[key] = value
+
 
 class _HistogramState:
     __slots__ = ("count", "total", "minimum", "maximum", "bucket_counts")

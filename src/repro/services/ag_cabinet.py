@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.core import codec
 from repro.core.briefcase import Briefcase
 from repro.core.errors import ServiceError
 from repro.core import wellknown
@@ -36,8 +37,20 @@ class AgCabinet(ServiceAgent):
             raise ServiceError("cabinet request needs a DRAWER folder")
         return (message.sender.principal, drawer)
 
+    def bytes_for_principal(self, principal: str) -> int:
+        """Encoded bytes this principal has stored across its drawers."""
+        return sum(codec.encoded_size(stored)
+                   for (p, _), stored in self._drawers.items()
+                   if p == principal)
+
     def op_put(self, message: Message):
-        """Store every non-system folder of the request under the drawer."""
+        """Store every non-system folder of the request under the drawer.
+
+        Storage is governed: the encoded size of everything a principal
+        has in its drawers (counting this put, discounting the drawer it
+        replaces) must fit its ``max_cabinet_bytes`` quota — the
+        transient rejection travels back as the service's error reply.
+        """
         key = self._key(message)
         yield from self.node.host.compute(CABINET_OP_SECONDS)
         stored = Briefcase()
@@ -48,6 +61,12 @@ class AgCabinet(ServiceAgent):
         for folder in message.briefcase.snapshot():
             if folder.name not in skip:
                 stored.folder(folder.name).push_all(folder)
+        principal = key[0]
+        replaced = self._drawers.get(key)
+        held = self.bytes_for_principal(principal) - \
+            (codec.encoded_size(replaced) if replaced is not None else 0)
+        self.node.firewall.governor.admit_cabinet(
+            principal, held, codec.encoded_size(stored))
         self._drawers[key] = stored
         return Briefcase()
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.core.errors import CircuitOpenError
+from repro.core.limits import BreakerConfig, CircuitBreaker
 from repro.sim.errors import SimulationError
 from repro.sim.eventloop import Kernel
 
@@ -130,6 +132,10 @@ class Network:
         #: Optional fault injector (see :mod:`repro.sim.faults`): asked
         #: for a verdict on every non-loopback transfer.
         self.fault_injector = None
+        #: Circuit-breaker configuration (None disables breakers).
+        self.breaker_config: Optional[BreakerConfig] = None
+        #: (src, dst) → breaker, created lazily per directional link.
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
 
     # -- topology -------------------------------------------------------------
 
@@ -192,6 +198,54 @@ class Network:
             if name in self._down_hosts:
                 raise HostDownError(f"host {name} is down")
 
+    # -- circuit breakers ------------------------------------------------------
+
+    def configure_breakers(self, config: Optional[BreakerConfig]) -> None:
+        """Install (or remove, with ``None``) per-link circuit breakers.
+
+        A breaker guards one *direction* of a link: after
+        ``failure_threshold`` consecutive transfer failures, calls
+        fast-fail with the transient
+        :class:`~repro.core.errors.CircuitOpenError` — no latency spent,
+        no doomed bytes on the wire — until a cooldown elapses and a
+        half-open probe succeeds.
+        """
+        self.breaker_config = config
+        self._breakers.clear()
+
+    def breaker_between(self, src: str,
+                        dst: str) -> Optional[CircuitBreaker]:
+        """The breaker guarding src→dst traffic (None when disabled or
+        loopback)."""
+        if self.breaker_config is None or src == dst:
+            return None
+        key = (src, dst)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            def note(old: str, new: str, now: float,
+                     _src: str = src, _dst: str = dst) -> None:
+                telemetry = self.kernel.telemetry
+                if telemetry.enabled:
+                    telemetry.metrics.inc("net.breaker_transitions",
+                                          src=_src, dst=_dst,
+                                          old=old, new=new)
+            breaker = self._breakers[key] = CircuitBreaker(
+                self.breaker_config, on_transition=note)
+        return breaker
+
+    def breaker_snapshots(self) -> Dict[str, dict]:
+        """Deterministic ``"src->dst" → breaker state`` map."""
+        return {f"{src}->{dst}": self._breakers[(src, dst)].snapshot()
+                for src, dst in sorted(self._breakers)}
+
+    def _breaker_failure(self, breaker: Optional[CircuitBreaker],
+                         exc: NetworkError) -> None:
+        # NoRouteError is permanent misconfiguration, not link health;
+        # tripping a breaker on it would convert a permanent error into
+        # a transient CircuitOpenError and mislead retry loops.
+        if breaker is not None and not isinstance(exc, NoRouteError):
+            breaker.record_failure(self.kernel.now)
+
     # -- traffic --------------------------------------------------------------
 
     def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
@@ -218,10 +272,23 @@ class Network:
         endpoint (before or during the transfer), or an injected fault
         raises without recording traffic.
         """
-        link = self.link_between(src, dst)
-        if not link.up:
-            raise LinkDownError(f"link {src} -> {dst} is partitioned")
-        self._check_endpoints(src, dst)
+        breaker = self.breaker_between(src, dst)
+        if breaker is not None and not breaker.allow(self.kernel.now):
+            telemetry = self.kernel.telemetry
+            if telemetry.enabled:
+                telemetry.metrics.inc("net.breaker_rejected",
+                                      src=src, dst=dst)
+            raise CircuitOpenError(
+                f"link {src} -> {dst}: circuit open "
+                f"(fast-failed without spending wire time)")
+        try:
+            link = self.link_between(src, dst)
+            if not link.up:
+                raise LinkDownError(f"link {src} -> {dst} is partitioned")
+            self._check_endpoints(src, dst)
+        except NetworkError as exc:
+            self._breaker_failure(breaker, exc)
+            raise
         verdict = None
         if self.fault_injector is not None and src != dst:
             verdict = self.fault_injector.verdict(src, dst, nbytes)
@@ -241,8 +308,11 @@ class Network:
                 raise TransferCorruptedError(
                     f"payload {src} -> {dst} failed its integrity check")
         except NetworkError as exc:
+            self._breaker_failure(breaker, exc)
             span.end(outcome="failed", error=str(exc))
             return self._record_failure(link, exc)
+        if breaker is not None:
+            breaker.record_success(self.kernel.now)
         link.stats.record(nbytes, seconds)
         self._record_traffic(link, nbytes, seconds)
         span.end(outcome="ok")

@@ -93,6 +93,12 @@ class TaxCluster:
     def node_names(self) -> List[str]:
         return sorted(self.nodes)
 
+    def configure_breakers(self, config) -> None:
+        """Install circuit breakers (a
+        :class:`~repro.core.limits.BreakerConfig`) on every inter-host
+        link; ``None`` removes them."""
+        self.network.configure_breakers(config)
+
     # -- addressing --------------------------------------------------------------------------
 
     def vm_uri(self, host_name: str, vm_name: str = "vm_python") -> AgentUri:

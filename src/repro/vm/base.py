@@ -116,6 +116,11 @@ class VirtualMachine:
                 LAUNCH_OVERHEAD_SECONDS +
                 payload.size * LAUNCH_PER_BYTE_SECONDS)
             entry = yield from self.prepare_entry(message, payload)
+            # Inside the try: register_agent may raise the transient
+            # QuotaExceededError (resident-agent quota), which must nack
+            # the go/spawn so the sender can back off, not kill this
+            # launch process.
+            uri = self.launch_agent(message, entry)
         except TaxError as exc:
             self.launch_failures += 1
             if telemetry.enabled:
@@ -124,7 +129,6 @@ class VirtualMachine:
             span.end(outcome="error", error=str(exc))
             yield from self._nack(message, str(exc))
             return
-        uri = self.launch_agent(message, entry)
         span.end(outcome="ok", agent=uri)
         if telemetry.enabled and span.duration is not None:
             telemetry.metrics.observe(

@@ -1,0 +1,135 @@
+"""Seeded round-trip fuzzing of the hardened briefcase codec.
+
+The acceptance bar for the wire-hardening work: **no** decoder input may
+crash a firewall or VM with an untyped exception.  Every buffer — valid,
+bit-flipped, truncated, extended, or pure noise — must either decode to
+a briefcase or raise a :class:`~repro.core.errors.CodecError` subclass.
+``IndexError``/``KeyError``/``struct.error``/``UnicodeDecodeError``/
+``MemoryError`` escaping ``decode`` is a bug, full stop.
+
+Everything is seeded through :class:`~repro.sim.rng.RandomStream`, so a
+failing case reproduces by seed.
+"""
+
+import struct
+
+import pytest
+
+from repro.core import codec
+from repro.core.briefcase import Briefcase
+from repro.core.errors import CodecError, MalformedBriefcaseError
+from repro.core.limits import WireLimits
+from repro.sim.rng import RandomStream
+
+#: Exceptions the decoder must never leak.
+FORBIDDEN = (IndexError, KeyError, struct.error, UnicodeDecodeError,
+             MemoryError, OverflowError)
+
+
+def random_briefcase(rng: RandomStream) -> Briefcase:
+    briefcase = Briefcase()
+    for f in range(rng.randint(0, 5)):
+        folder = briefcase.folder(f"F{f}-{rng.randint(0, 999)}")
+        for _ in range(rng.randint(0, 4)):
+            folder.push(bytes(rng.randint(0, 255)
+                              for _ in range(rng.randint(0, 64))))
+    return briefcase
+
+
+def try_decode(data: bytes):
+    """Decode; typed codec errors are fine, anything else is the bug."""
+    try:
+        return codec.decode(data)
+    except CodecError:
+        return None
+    except FORBIDDEN as exc:  # pragma: no cover - the failure we hunt
+        pytest.fail(f"decode leaked {type(exc).__name__}: {exc}")
+
+
+class TestMutationFuzz:
+    def test_single_byte_flips_never_crash(self):
+        rng = RandomStream(42, name="fuzz/flip")
+        for round_no in range(40):
+            original = random_briefcase(rng)
+            wire = bytearray(codec.encode(original))
+            if not wire:
+                continue
+            pos = rng.randint(0, len(wire) - 1)
+            wire[pos] ^= 1 << rng.randint(0, 7)
+            decoded = try_decode(bytes(wire))
+            if decoded is not None:
+                # A surviving mutation must still re-encode cleanly.
+                codec.encode(decoded)
+
+    def test_truncations_never_crash(self):
+        rng = RandomStream(43, name="fuzz/truncate")
+        original = random_briefcase(rng)
+        wire = codec.encode(original)
+        for cut in range(len(wire)):
+            decoded = try_decode(wire[:cut])
+            # A strict prefix can never be a complete briefcase.
+            assert decoded is None or cut == len(wire)
+
+    def test_trailing_garbage_rejected(self):
+        rng = RandomStream(44, name="fuzz/trailing")
+        wire = codec.encode(random_briefcase(rng))
+        with pytest.raises(MalformedBriefcaseError, match="trailing"):
+            codec.decode(wire + b"\x00")
+
+    def test_random_noise_never_crashes(self):
+        rng = RandomStream(45, name="fuzz/noise")
+        for _ in range(60):
+            blob = bytes(rng.randint(0, 255)
+                         for _ in range(rng.randint(0, 128)))
+            try_decode(blob)
+
+    def test_noise_behind_valid_magic_never_crashes(self):
+        rng = RandomStream(46, name="fuzz/magic")
+        for _ in range(60):
+            blob = codec.MAGIC + bytes([codec.VERSION]) + bytes(
+                rng.randint(0, 255) for _ in range(rng.randint(0, 96)))
+            try_decode(blob)
+
+    def test_clean_round_trip_still_holds(self):
+        rng = RandomStream(47, name="fuzz/clean")
+        for _ in range(25):
+            original = random_briefcase(rng)
+            assert codec.decode(codec.encode(original)) == original
+
+
+class TestHostileAllocations:
+    """Length fields promising absurd allocations must be rejected
+    *before* any allocation happens (the anti-billion-laughs check)."""
+
+    def test_huge_folder_count(self):
+        blob = codec.MAGIC + bytes([codec.VERSION]) + \
+            (0xFFFFFFFF).to_bytes(4, "big")
+        with pytest.raises(MalformedBriefcaseError, match="folder count"):
+            codec.decode(blob)
+
+    def test_huge_element_count(self):
+        briefcase = Briefcase()
+        briefcase.folder("F").push(b"x")
+        wire = bytearray(codec.encode(briefcase))
+        # Element count sits right after the 1-char folder name.
+        offset = len(codec.MAGIC) + 1 + 4 + 2 + 1
+        wire[offset:offset + 4] = (0xFFFFFFFF).to_bytes(4, "big")
+        with pytest.raises(MalformedBriefcaseError, match="element count"):
+            codec.decode(bytes(wire))
+
+    def test_element_size_beyond_buffer(self):
+        briefcase = Briefcase()
+        briefcase.folder("F").push(b"x")
+        wire = bytearray(codec.encode(briefcase))
+        wire[-5:-1] = (10_000).to_bytes(4, "big")  # size prefix of "x"
+        with pytest.raises(MalformedBriefcaseError, match="truncated"):
+            codec.decode(bytes(wire))
+
+    def test_tight_limits_cap_good_input(self):
+        briefcase = Briefcase()
+        briefcase.folder("F").push(b"y" * 500)
+        wire = codec.encode(briefcase)
+        with pytest.raises(CodecError):
+            codec.decode(wire, limits=WireLimits(max_encoded_bytes=100))
+        # And None disables the cap again.
+        assert codec.decode(wire, limits=None) == briefcase
