@@ -22,7 +22,16 @@ Commands:
   host and poison wire buffers) with or without the firewall governor
   and print the shedding/backpressure/breaker report as canonical
   JSON.  Like ``chaos``, the output is a pure function of ``(--seed,
-  --no-governor)`` and CI diffs two runs byte-for-byte.
+  --no-governor)`` and CI diffs two runs byte-for-byte;
+- ``perf`` — run the hot-path microbenchmarks (codec decode/encode,
+  kernel dispatch, E1 end-to-end) against in-process replicas of the
+  pre-optimisation code paths and write the before/after medians to a
+  JSON file.  stdout carries only the *semantics* block — digests
+  proving the fast paths change no observable behaviour — which is a
+  pure function of ``--seed``; CI runs the command twice and diffs the
+  two stdout documents, and the command exits non-zero if the E1
+  report under the fast paths differs byte-for-byte from the
+  non-optimised path.
 """
 
 from __future__ import annotations
@@ -168,6 +177,13 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0 if document["flood"]["completion_rate"] >= 0.9 else 1
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench.perf import run_perf
+
+    return run_perf(seed=args.seed, repeats=args.repeats,
+                    quick=args.quick, json_path=args.json_path)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,6 +250,20 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument("--no-governor", action="store_true",
                           help="run the ungoverned baseline: unbounded "
                                "queues, no quotas, no breakers")
+
+    perf = sub.add_parser(
+        "perf",
+        help="hot-path microbenchmarks vs pre-optimisation baselines")
+    perf.add_argument("--seed", type=int, default=2000)
+    perf.add_argument("--repeats", type=int, default=5,
+                      help="timing samples per benchmark leg (median "
+                           "reported)")
+    perf.add_argument("--quick", action="store_true",
+                      help="smaller workloads / fewer repeats (CI smoke)")
+    perf.add_argument("--json", dest="json_path", default=None,
+                      metavar="BENCH_perf.json",
+                      help="write the full timings document here; stdout "
+                           "stays the deterministic semantics JSON")
     return parser
 
 
@@ -257,6 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "overload":
         return _cmd_overload(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -20,27 +20,58 @@ which makes encode→decode→encode byte-identical (tested by property
 tests), while two briefcases that merely differ in folder insertion order
 still compare equal at the :class:`~repro.core.briefcase.Briefcase` level.
 
-Decoding is hardened against hostile or corrupt input: every read goes
-through a bounds-checked cursor and every structural field is validated
-against a :class:`~repro.core.limits.WireLimits`, so a truncated,
-oversized, or garbled buffer raises the typed
+Decoding is hardened against hostile or corrupt input: every read is
+bounds-checked and every structural field is validated against a
+:class:`~repro.core.limits.WireLimits`, so a truncated, oversized, or
+garbled buffer raises the typed
 :class:`~repro.core.errors.MalformedBriefcaseError` /
 :class:`~repro.core.errors.BriefcaseTooLargeError` (both
 :class:`~repro.core.errors.CodecError` subclasses) — never a bare
 ``IndexError``/``struct.error``, and never an unbounded allocation.
+
+Hot paths (see ``docs/performance.md``)
+---------------------------------------
+
+This module keeps **two decoder implementations** with identical
+semantics:
+
+- :func:`_decode_fast` (default) parses integer fields in place with
+  ``struct.unpack_from`` — no per-field slice allocations, no cursor
+  object — and accepts ``bytes``/``bytearray``/``memoryview`` buffers,
+  so a view over a larger receive buffer is parsed without an upfront
+  copy; only each element payload is materialised (once) as ``bytes``.
+- :func:`_decode_reference` is the original cursor-based decoder, kept
+  as the readable specification and as the *baseline* the perf harness
+  (``repro perf``) measures the fast path against.  Property tests
+  assert the two agree byte-for-byte.
+
+Encoding is cached: :func:`encode` / :func:`encoded_size` store their
+result on the briefcase (invalidated by any mutation — see
+``Briefcase._wire_fingerprint``), so firewall admission, the wire
+transfer charge, and telemetry byte-accounting reuse one encoding
+instead of re-encoding up to three times per hop.  A successful
+:func:`decode` of a ``bytes`` buffer pre-populates the cache with the
+input buffer itself (the format is canonical: every accepted wire image
+re-encodes to itself).
+
+:func:`set_fast_paths` disables all of the above at once (reference
+decoder, no caching); the perf harness uses it to produce honest
+before/after medians in a single run.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.briefcase import Briefcase
+from repro.core.element import Element
 from repro.core.errors import (
     BriefcaseTooLargeError,
     CodecError,
     MalformedBriefcaseError,
 )
+from repro.core.folder import Folder
 from repro.core.limits import (
     DEFAULT_WIRE_LIMITS,
     MAX_ELEMENT_BYTES,
@@ -50,27 +81,69 @@ from repro.core.limits import (
 )
 
 __all__ = ["encode", "decode", "encoded_size", "check_briefcase",
-           "MAGIC", "VERSION", "MAX_FOLDERS", "MAX_ELEMENTS",
-           "MAX_ELEMENT_BYTES"]
+           "set_fast_paths", "fast_paths_enabled",
+           "MAGIC", "VERSION", "ABSOLUTE_MAX_WIRE_BYTES",
+           "MAX_FOLDERS", "MAX_ELEMENTS", "MAX_ELEMENT_BYTES"]
 
 MAGIC = b"TAXB"
 VERSION = 1
+
+#: Hard absolute backstop on the wire buffer size, enforced even with
+#: ``decode(data, limits=None)``: a buffer larger than this (4 GiB, the
+#: u32 framing horizon) is rejected outright.  This is the only
+#: configured-independent cap; everything else ``limits=None`` enforces
+#: is derived from the buffer itself (a count that could not possibly
+#: fit the remaining bytes is malformed, not over-limit).
+ABSOLUTE_MAX_WIRE_BYTES = 1 << 32
 
 _U8 = struct.Struct(">B")
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
 
+_U16_AT = _U16.unpack_from
+_U32_AT = _U32.unpack_from
 
-def encode(briefcase: Briefcase,
-           limits: Optional[WireLimits] = None) -> bytes:
-    """Serialise a briefcase to its wire representation.
+#: Minimum wire bytes one folder costs: u16 name length + 1 name byte +
+#: u32 element count.  Used to bound a declared folder count by what the
+#: buffer could possibly hold.
+_MIN_FOLDER_BYTES = _U16.size + 1 + _U32.size
+#: Minimum wire bytes one element costs (its u32 length prefix).
+_MIN_ELEMENT_BYTES = _U32.size
 
-    With ``limits`` the encoded form is checked against them first
-    (raising :class:`BriefcaseTooLargeError`) so an agent cannot even
-    *construct* an over-limit wire image.
+_HEADER_BYTES = len(MAGIC) + _U8.size + _U32.size
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+#: Master switch for the optimised paths (fast decoder + encode cache).
+#: Flip with :func:`set_fast_paths`; the perf harness runs its baseline
+#: legs with this off.
+_fast_enabled = True
+
+
+def set_fast_paths(enabled: bool) -> bool:
+    """Enable/disable the codec fast paths; returns the previous state.
+
+    With fast paths off, :func:`decode` uses the reference decoder and
+    :func:`encode`/:func:`encoded_size` neither consult nor populate the
+    per-briefcase encoding cache.  Semantics are identical either way —
+    this switch exists so the perf harness (and a suspicious operator)
+    can compare the two regimes in one process.
     """
-    if limits is not None:
-        check_briefcase(briefcase, limits)
+    global _fast_enabled
+    previous = _fast_enabled
+    _fast_enabled = bool(enabled)
+    return previous
+
+
+def fast_paths_enabled() -> bool:
+    return _fast_enabled
+
+
+# -- encoding --------------------------------------------------------------------
+
+
+def _encode_parts(briefcase: Briefcase) -> bytes:
+    """Materialise the wire image (no cache interaction)."""
     parts = [MAGIC, _U8.pack(VERSION)]
     folders = list(briefcase)
     parts.append(_U32.pack(len(folders)))
@@ -88,13 +161,47 @@ def encode(briefcase: Briefcase,
     return b"".join(parts)
 
 
+def encode(briefcase: Briefcase,
+           limits: Optional[WireLimits] = None) -> bytes:
+    """Serialise a briefcase to its wire representation.
+
+    With ``limits`` the encoded form is checked against them first
+    (raising :class:`BriefcaseTooLargeError`) so an agent cannot even
+    *construct* an over-limit wire image.
+
+    The result is cached on the briefcase and reused until the briefcase
+    (or any of its folders) is mutated.
+    """
+    if limits is not None:
+        check_briefcase(briefcase, limits)
+    if _fast_enabled:
+        cached = briefcase._wire_cached_bytes()
+        if cached is not None:
+            return cached
+    data = _encode_parts(briefcase)
+    if _fast_enabled:
+        briefcase._wire_cache_store(data, len(data))
+    return data
+
+
 def encoded_size(briefcase: Briefcase) -> int:
-    """The exact wire size in bytes, without materialising the encoding."""
-    size = len(MAGIC) + _U8.size + _U32.size
+    """The exact wire size in bytes, without materialising the encoding.
+
+    Single pass: each folder name is UTF-8 encoded exactly once.  The
+    size is cached alongside the encoding (and served from a previous
+    :func:`encode` when one is still valid).
+    """
+    if _fast_enabled:
+        cached = briefcase._wire_cached_size()
+        if cached is not None:
+            return cached
+    size = _HEADER_BYTES
     for folder in briefcase:
         size += _U16.size + len(folder.name.encode("utf-8")) + _U32.size
         for element in folder:
             size += _U32.size + len(element)
+    if _fast_enabled:
+        briefcase._wire_cache_store(None, size)
     return size
 
 
@@ -105,6 +212,11 @@ def check_briefcase(briefcase: Briefcase, limits: WireLimits) -> int:
     :class:`BriefcaseTooLargeError` on any violation.  Used by firewall
     admission so oversized payloads are rejected before they spend
     network time.
+
+    Single pass over the briefcase: each folder name is encoded once and
+    the exact wire size is accumulated while the structural caps are
+    checked (the original implementation encoded every name twice — once
+    to check its length, once again inside :func:`encoded_size`).
     """
     folders = list(briefcase)
     if len(folders) > limits.max_folders:
@@ -112,6 +224,7 @@ def check_briefcase(briefcase: Briefcase, limits: WireLimits) -> int:
             f"briefcase has {len(folders)} folders "
             f"(limit {limits.max_folders})")
     total_elements = 0
+    size = _HEADER_BYTES
     for folder in folders:
         n = len(folder)
         if n > limits.max_elements_per_folder:
@@ -119,26 +232,54 @@ def check_briefcase(briefcase: Briefcase, limits: WireLimits) -> int:
                 f"folder {folder.name!r} has {n} elements "
                 f"(limit {limits.max_elements_per_folder})")
         total_elements += n
-        if len(folder.name.encode("utf-8")) > limits.max_name_bytes:
+        name_len = len(folder.name.encode("utf-8"))
+        if name_len > limits.max_name_bytes:
             raise BriefcaseTooLargeError(
                 f"folder name {folder.name[:40]!r}... exceeds "
                 f"{limits.max_name_bytes} bytes")
+        size += _U16.size + name_len + _U32.size
         for element in folder:
-            if len(element) > limits.max_element_bytes:
+            element_len = len(element)
+            if element_len > limits.max_element_bytes:
                 raise BriefcaseTooLargeError(
-                    f"element of {len(element)} bytes in folder "
+                    f"element of {element_len} bytes in folder "
                     f"{folder.name!r} (limit {limits.max_element_bytes})")
+            size += _U32.size + element_len
     if total_elements > limits.max_total_elements:
         raise BriefcaseTooLargeError(
             f"briefcase has {total_elements} elements in total "
             f"(limit {limits.max_total_elements})")
-    size = encoded_size(briefcase)
     if limits.max_encoded_bytes is not None and \
             size > limits.max_encoded_bytes:
         raise BriefcaseTooLargeError(
             f"briefcase encodes to {size} bytes "
             f"(limit {limits.max_encoded_bytes})")
+    if _fast_enabled:
+        briefcase._wire_cache_store(None, size)
     return size
+
+
+# -- decoding --------------------------------------------------------------------
+
+
+def _decode_caps(data_len: int, limits: Optional[WireLimits]) -> tuple:
+    """Resolve the decode caps: (max_folders, max_per_folder, max_total,
+    max_element).
+
+    With ``limits=None`` every configured cap is off; what remains is
+    well-formedness — a declared count whose minimum wire footprint
+    exceeds the bytes actually present is malformed — plus the absolute
+    :data:`ABSOLUTE_MAX_WIRE_BYTES` buffer backstop checked by
+    :func:`decode` itself.
+    """
+    if limits is not None:
+        return (limits.max_folders, limits.max_elements_per_folder,
+                limits.max_total_elements, limits.max_element_bytes)
+    body = max(0, data_len - _HEADER_BYTES)
+    return (body // _MIN_FOLDER_BYTES,
+            body // _MIN_ELEMENT_BYTES,
+            body // _MIN_ELEMENT_BYTES,
+            data_len)
 
 
 class _Reader:
@@ -149,7 +290,7 @@ class _Reader:
     context instead of surfacing as a bare slice/struct error.
     """
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: Buffer):
         self.data = data
         self.pos = 0
 
@@ -158,7 +299,7 @@ class _Reader:
             raise MalformedBriefcaseError(
                 f"truncated briefcase: wanted {n} bytes at offset {self.pos}, "
                 f"buffer has {len(self.data)}")
-        chunk = self.data[self.pos:self.pos + n]
+        chunk = bytes(self.data[self.pos:self.pos + n])
         self.pos += n
         return chunk
 
@@ -180,26 +321,43 @@ class _Reader:
         return self.pos == len(self.data)
 
 
-def decode(data: bytes,
+def decode(data: Buffer,
            limits: Optional[WireLimits] = DEFAULT_WIRE_LIMITS) -> Briefcase:
     """Parse a wire representation back into a briefcase.
 
     ``limits`` (default :data:`~repro.core.limits.DEFAULT_WIRE_LIMITS`)
-    bounds what the parser will accept and allocate; pass ``None`` to
-    disable every cap except basic well-formedness.
+    bounds what the parser will accept and allocate.  Pass ``None`` to
+    disable every configured cap: the parser then enforces only basic
+    well-formedness (declared counts and sizes must fit the buffer that
+    is actually present) plus one hard absolute backstop,
+    :data:`ABSOLUTE_MAX_WIRE_BYTES`, on the buffer size itself.
+
+    ``data`` may be ``bytes``, ``bytearray``, or a ``memoryview`` (e.g.
+    a window into a larger receive buffer); integer fields are read in
+    place and only element payloads are copied out.
     """
-    if limits is not None and limits.max_encoded_bytes is not None and \
-            len(data) > limits.max_encoded_bytes:
+    data_len = len(data)
+    if limits is not None:
+        if limits.max_encoded_bytes is not None and \
+                data_len > limits.max_encoded_bytes:
+            raise BriefcaseTooLargeError(
+                f"wire buffer is {data_len} bytes "
+                f"(limit {limits.max_encoded_bytes})")
+    elif data_len > ABSOLUTE_MAX_WIRE_BYTES:
         raise BriefcaseTooLargeError(
-            f"wire buffer is {len(data)} bytes "
-            f"(limit {limits.max_encoded_bytes})")
-    max_folders = limits.max_folders if limits is not None else MAX_FOLDERS
-    max_per_folder = limits.max_elements_per_folder if limits is not None \
-        else MAX_ELEMENTS
-    max_total = limits.max_total_elements if limits is not None \
-        else MAX_ELEMENTS
-    max_element = limits.max_element_bytes if limits is not None \
-        else MAX_ELEMENT_BYTES
+            f"wire buffer is {data_len} bytes (absolute backstop "
+            f"{ABSOLUTE_MAX_WIRE_BYTES})")
+    caps = _decode_caps(data_len, limits)
+    if _fast_enabled:
+        return _decode_fast(data, caps)
+    return _decode_reference(data, caps)
+
+
+def _decode_reference(data: Buffer, caps: tuple) -> Briefcase:
+    """The original cursor-based decoder: readable specification and
+    perf-harness baseline.  Must behave identically to
+    :func:`_decode_fast` (property-tested)."""
+    max_folders, max_per_folder, max_total, max_element = caps
     reader = _Reader(data)
     if reader.take(len(MAGIC)) != MAGIC:
         raise MalformedBriefcaseError("bad magic: not a TAX briefcase")
@@ -247,4 +405,115 @@ def decode(data: bytes,
     if not reader.exhausted:
         raise MalformedBriefcaseError(
             f"{len(data) - reader.pos} trailing bytes after briefcase")
+    return briefcase
+
+
+def _truncated(wanted: int, pos: int, total: int) -> MalformedBriefcaseError:
+    return MalformedBriefcaseError(
+        f"truncated briefcase: wanted {wanted} bytes at offset {pos}, "
+        f"buffer has {total}")
+
+
+def _decode_fast(data: Buffer, caps: tuple) -> Briefcase:
+    """Allocation-lean decoder: integer fields are unpacked in place.
+
+    Validation order and every raised error match
+    :func:`_decode_reference`; the only differences are mechanical —
+    ``unpack_from`` at an offset instead of slice-then-unpack, elements
+    wrapped via the internal :meth:`Element._wrap` fast constructor, and
+    folder objects assembled directly.
+    """
+    max_folders, max_per_folder, max_total, max_element = caps
+    n = len(data)
+    if n < _HEADER_BYTES:
+        # Mirror the reference decoder's read order on short buffers:
+        # magic, then version, then the folder count.
+        if n < len(MAGIC):
+            raise _truncated(len(MAGIC), 0, n)
+        if bytes(data[:4]) != MAGIC:
+            raise MalformedBriefcaseError("bad magic: not a TAX briefcase")
+        if n < 5:
+            raise _truncated(_U8.size, 4, n)
+        if data[4] != VERSION:
+            raise MalformedBriefcaseError(
+                f"unsupported briefcase format version {data[4]}")
+        raise _truncated(_U32.size, 5, n)
+    if bytes(data[:4]) != MAGIC:
+        raise MalformedBriefcaseError("bad magic: not a TAX briefcase")
+    version = data[4]
+    if version != VERSION:
+        raise MalformedBriefcaseError(
+            f"unsupported briefcase format version {version}")
+    (folder_count,) = _U32_AT(data, 5)
+    if folder_count > max_folders:
+        raise MalformedBriefcaseError(
+            f"implausible folder count {folder_count}")
+    pos = _HEADER_BYTES
+    briefcase = Briefcase()
+    folders = briefcase._folders
+    wrap = Element._wrap
+    total_elements = 0
+    for _ in range(folder_count):
+        end = pos + 2
+        if end > n:
+            raise _truncated(2, pos, n)
+        (name_len,) = _U16_AT(data, pos)
+        pos = end
+        end = pos + name_len
+        if end > n:
+            raise _truncated(name_len, pos, n)
+        try:
+            name = str(data[pos:end], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise MalformedBriefcaseError(
+                "folder name is not valid UTF-8") from exc
+        pos = end
+        if not name:
+            raise MalformedBriefcaseError("empty folder name on the wire")
+        if name in folders:
+            raise MalformedBriefcaseError(
+                f"duplicate folder {name!r} on the wire")
+        end = pos + 4
+        if end > n:
+            raise _truncated(4, pos, n)
+        (element_count,) = _U32_AT(data, pos)
+        pos = end
+        if element_count > max_per_folder:
+            raise MalformedBriefcaseError(
+                f"implausible element count {element_count}")
+        total_elements += element_count
+        if total_elements > max_total:
+            raise MalformedBriefcaseError(
+                f"implausible total element count {total_elements}")
+        elements = []
+        append = elements.append
+        for _ in range(element_count):
+            end = pos + 4
+            if end > n:
+                raise _truncated(4, pos, n)
+            (size,) = _U32_AT(data, pos)
+            pos = end
+            if size > max_element:
+                raise MalformedBriefcaseError(
+                    f"implausible element size {size}")
+            end = pos + size
+            if end > n:
+                raise MalformedBriefcaseError(
+                    f"truncated briefcase: declared element size {size} "
+                    f"exceeds the {n - pos} bytes left")
+            append(wrap(bytes(data[pos:end])))
+            pos = end
+        folder = Folder.__new__(Folder)
+        folder.name = name
+        folder._elements = elements
+        folder._version = 0
+        folders[name] = folder
+    if pos != n:
+        raise MalformedBriefcaseError(
+            f"{n - pos} trailing bytes after briefcase")
+    if type(data) is bytes:
+        # The format is canonical: this exact buffer is what encode()
+        # would produce, so it seeds the briefcase's encoding cache and
+        # the next hop's admission/transfer/accounting reuse it.
+        briefcase._wire_cache_store(data, n)
     return briefcase

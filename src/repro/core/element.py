@@ -55,6 +55,18 @@ class Element:
                 f"cannot encode {type(value).__name__} as an element") from exc
 
     @classmethod
+    def _wrap(cls, data: bytes) -> "Element":
+        """Internal fast constructor for the codec hot path.
+
+        ``data`` must already be exact ``bytes``; this skips the
+        type-coercion checks of :meth:`__init__` (the decoder produces
+        ``bytes`` by construction).
+        """
+        element = cls.__new__(cls)
+        element._data = data
+        return element
+
+    @classmethod
     def from_text(cls, text: str) -> "Element":
         return cls(text.encode("utf-8"))
 

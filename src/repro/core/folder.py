@@ -17,15 +17,23 @@ from repro.core.errors import BriefcaseError
 
 
 class Folder:
-    """An ordered list of :class:`Element` values with a name."""
+    """An ordered list of :class:`Element` values with a name.
 
-    __slots__ = ("name", "_elements")
+    Every mutation bumps ``_version``, a monotonically increasing counter
+    that :class:`~repro.core.briefcase.Briefcase` uses to detect whether
+    its cached wire encoding is still valid (see
+    ``Briefcase._wire_fingerprint``).  The counter carries no meaning
+    beyond "has this folder changed since the fingerprint was taken".
+    """
+
+    __slots__ = ("name", "_elements", "_version")
 
     def __init__(self, name: str, elements: Iterable[Any] = ()):
         if not isinstance(name, str) or not name:
             raise BriefcaseError("folder name must be a non-empty string")
         self.name = name
         self._elements: List[Element] = [Element.of(e) for e in elements]
+        self._version = 0
 
     # -- mutation ---------------------------------------------------------------
 
@@ -33,6 +41,7 @@ class Folder:
         """Append a value (encoded with :meth:`Element.of`) to the end."""
         element = Element.of(value)
         self._elements.append(element)
+        self._version += 1
         return element
 
     def push_all(self, values: Iterable[Any]) -> None:
@@ -42,6 +51,7 @@ class Folder:
     def insert(self, index: int, value: Any) -> Element:
         element = Element.of(value)
         self._elements.insert(index, element)
+        self._version += 1
         return element
 
     def pop_first(self) -> Optional[Element]:
@@ -52,27 +62,33 @@ class Folder:
         """
         if not self._elements:
             return None
+        self._version += 1
         return self._elements.pop(0)
 
     def pop_last(self) -> Optional[Element]:
         if not self._elements:
             return None
+        self._version += 1
         return self._elements.pop()
 
     def remove_at(self, index: int) -> Element:
         try:
-            return self._elements.pop(index)
+            element = self._elements.pop(index)
         except IndexError as exc:
             raise BriefcaseError(
                 f"folder {self.name!r} has no element at index {index}"
             ) from exc
+        self._version += 1
+        return element
 
     def clear(self) -> None:
         self._elements.clear()
+        self._version += 1
 
     def replace(self, values: Iterable[Any]) -> None:
         """Replace the entire contents with freshly-encoded values."""
         self._elements = [Element.of(v) for v in values]
+        self._version += 1
 
     # -- access -------------------------------------------------------------------
 

@@ -125,3 +125,108 @@ class TestMalformedInput:
         briefcase = Briefcase({"x" * 70_000: ["v"]})
         with pytest.raises(CodecError, match="too long"):
             codec.encode(briefcase)
+
+
+class TestDecodeLimitsNone:
+    """``decode(data, limits=None)`` must disable every configured cap.
+
+    Regression: the docstring always promised this, but decode kept
+    enforcing the module-level MAX_FOLDERS / MAX_ELEMENTS /
+    MAX_ELEMENT_BYTES plausibility caps.  With ``limits=None`` the only
+    checks left are well-formedness (declared counts must fit the bytes
+    actually present) and the absolute ``ABSOLUTE_MAX_WIRE_BYTES``
+    buffer backstop.
+    """
+
+    def test_accepts_what_configured_limits_reject(self):
+        from repro.core.limits import WireLimits
+
+        briefcase = Briefcase({"BULK": [b"x"] * 50})
+        wire = codec.encode(briefcase)
+        tight = WireLimits(max_total_elements=10)
+        with pytest.raises(CodecError):
+            codec.decode(wire, limits=tight)
+        assert codec.decode(wire, limits=None) == briefcase
+
+    def test_accepts_element_larger_than_configured_cap(self):
+        from repro.core.limits import WireLimits
+
+        briefcase = Briefcase({"BLOB": [b"\xab" * 4096]})
+        wire = codec.encode(briefcase)
+        tight = WireLimits(max_element_bytes=1024)
+        with pytest.raises(CodecError):
+            codec.decode(wire, limits=tight)
+        assert codec.decode(wire, limits=None) == briefcase
+
+    def test_accepts_more_folders_than_configured_cap(self):
+        from repro.core.limits import WireLimits
+
+        briefcase = Briefcase({f"F{i:03d}": [b"v"] for i in range(40)})
+        wire = codec.encode(briefcase)
+        tight = WireLimits(max_folders=8)
+        with pytest.raises(CodecError):
+            codec.decode(wire, limits=tight)
+        assert codec.decode(wire, limits=None) == briefcase
+
+    def test_accepts_buffer_over_configured_encoded_bytes(self):
+        from repro.core.limits import WireLimits
+
+        briefcase = Briefcase({"DATA": [b"z" * 2000]})
+        wire = codec.encode(briefcase)
+        tight = WireLimits(max_encoded_bytes=100)
+        with pytest.raises(CodecError, match="limit 100"):
+            codec.decode(wire, limits=tight)
+        assert codec.decode(wire, limits=None) == briefcase
+
+    def test_wellformedness_still_enforced(self):
+        import struct
+
+        # Declared folder count far beyond what the buffer could hold.
+        wire = (codec.MAGIC + struct.pack(">B", codec.VERSION) +
+                struct.pack(">I", 1_000_000))
+        with pytest.raises(CodecError, match="implausible folder count"):
+            codec.decode(wire, limits=None)
+
+    def test_truncated_element_still_rejected(self):
+        import struct
+
+        folder = (struct.pack(">H", 1) + b"F" + struct.pack(">I", 1) +
+                  struct.pack(">I", 500) + b"short")
+        wire = (codec.MAGIC + struct.pack(">B", codec.VERSION) +
+                struct.pack(">I", 1) + folder)
+        with pytest.raises(CodecError, match="truncated|implausible"):
+            codec.decode(wire, limits=None)
+
+    def test_absolute_backstop_boundary(self, monkeypatch):
+        briefcase = Briefcase({"F": [b"payload"]})
+        wire = codec.encode(briefcase)
+        # Exactly at the backstop: accepted.
+        monkeypatch.setattr(codec, "ABSOLUTE_MAX_WIRE_BYTES", len(wire))
+        assert codec.decode(wire, limits=None) == briefcase
+        # One byte over: rejected outright, before any parsing.
+        monkeypatch.setattr(codec, "ABSOLUTE_MAX_WIRE_BYTES", len(wire) - 1)
+        with pytest.raises(codec.BriefcaseTooLargeError,
+                           match="absolute backstop"):
+            codec.decode(wire, limits=None)
+
+    def test_backstop_does_not_apply_with_configured_limits(self, monkeypatch):
+        from repro.core.limits import WireLimits
+
+        briefcase = Briefcase({"F": [b"payload"]})
+        wire = codec.encode(briefcase)
+        monkeypatch.setattr(codec, "ABSOLUTE_MAX_WIRE_BYTES", 1)
+        # Configured limits govern instead of the backstop.
+        assert codec.decode(
+            wire, limits=WireLimits(max_encoded_bytes=len(wire))) == briefcase
+
+    def test_both_decoders_honour_limits_none(self):
+        briefcase = Briefcase({"BULK": [b"x"] * 50})
+        wire = codec.encode(briefcase)
+        previous = codec.set_fast_paths(False)
+        try:
+            reference = codec.decode(wire, limits=None)
+            codec.set_fast_paths(True)
+            fast = codec.decode(wire, limits=None)
+        finally:
+            codec.set_fast_paths(previous)
+        assert reference == fast == briefcase

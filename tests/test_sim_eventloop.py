@@ -291,3 +291,278 @@ class TestKernelGuards:
         kernel.timeout(2)
         drain(kernel)
         assert kernel.processed_events == 2
+
+
+class TestInterruptStaleResume:
+    """Regression: ``interrupt()`` must not leave the old wait target's
+    ``_resume`` callback able to spuriously resume the process.
+
+    Before the fix, the event the process was waiting on at interrupt
+    time kept its ``_resume`` callback; when that event later fired, it
+    re-entered the generator — at whatever yield the process had moved
+    on to — delivering the *stale* event's value.
+    """
+
+    def test_stale_timeout_cannot_resume_interrupted_process(self, kernel):
+        log = []
+
+        def proc():
+            try:
+                value = yield kernel.timeout(10.0, "stale")
+                log.append(("resumed", value))
+            except Interrupt:
+                value = yield kernel.timeout(20.0, "fresh")
+                log.append(("after-interrupt", value))
+            return "done"
+
+        process = kernel.spawn(proc())
+        kernel.timeout(1.0).add_callback(lambda _e: process.interrupt("x"))
+        drain(kernel)
+        # Pre-fix this was [("after-interrupt", "stale")]: the t=10
+        # timeout resumed the generator parked on the t=21 one.
+        assert log == [("after-interrupt", "fresh")]
+        assert process.value == "done"
+        assert kernel.now == pytest.approx(21.0)
+
+    def test_stale_event_resume_after_rewait_on_manual_event(self, kernel):
+        resumed_with = []
+
+        def proc():
+            try:
+                yield kernel.timeout(5.0, "doomed")
+            except Interrupt:
+                pass
+            value = yield replacement
+            resumed_with.append(value)
+            return value
+
+        replacement = kernel.event()
+        process = kernel.spawn(proc())
+        kernel.timeout(1.0).add_callback(lambda _e: process.interrupt())
+
+        def releaser():
+            yield kernel.timeout(30.0)
+            replacement.succeed("replacement")
+        kernel.spawn(releaser())
+        drain(kernel)
+        assert resumed_with == ["replacement"]
+        assert process.value == "replacement"
+
+    def test_interrupted_process_can_finish_before_stale_event(self, kernel):
+        def proc():
+            try:
+                yield kernel.timeout(50.0)
+            except Interrupt:
+                return "early"
+
+        process = kernel.spawn(proc())
+        kernel.timeout(1.0).add_callback(lambda _e: process.interrupt())
+        drain(kernel)  # the t=50 timeout still fires; must be a no-op
+        assert process.value == "early"
+        assert kernel.now == pytest.approx(50.0)
+
+
+class TestCombinatorsWithProcessedChildren:
+    """AnyOf/AllOf built from events the kernel has already processed."""
+
+    def test_any_of_with_processed_child_triggers(self, kernel):
+        done = kernel.timeout(1, value="early")
+        drain(kernel)
+        assert done.processed
+
+        def proc():
+            result = yield kernel.any_of([done, kernel.timeout(10)])
+            return result
+        result = kernel.run_process(proc())
+        assert result == {done: "early"}
+        assert kernel.now == pytest.approx(1)  # no wait for the slow leg
+
+    def test_all_of_with_all_children_processed(self, kernel):
+        first = kernel.timeout(1, value="a")
+        second = kernel.timeout(2, value="b")
+        drain(kernel)
+
+        def proc():
+            result = yield kernel.all_of([first, second])
+            return [result[first], result[second]]
+        assert kernel.run_process(proc()) == ["a", "b"]
+
+    def test_all_of_mixed_processed_and_pending(self, kernel):
+        early = kernel.timeout(1, value="early")
+        drain(kernel)
+
+        def proc():
+            late = kernel.timeout(3, value="late")
+            result = yield kernel.all_of([early, late])
+            return sorted(result.values())
+        assert kernel.run_process(proc()) == ["early", "late"]
+
+    def test_any_of_with_processed_failed_child_fails(self, kernel):
+        bad = kernel.event()
+        bad.fail(KeyError("nope"))
+        drain(kernel)
+
+        def proc():
+            yield kernel.any_of([bad, kernel.timeout(5)])
+        process = kernel.spawn(proc())
+        drain(kernel)
+        assert not process.ok
+        assert isinstance(process.exception, KeyError)
+
+
+class TestBatchedScheduling:
+    def test_succeed_many_fires_in_list_order(self, kernel):
+        order = []
+        events = [kernel.event() for _ in range(20)]
+        for i, event in enumerate(events):
+            event.add_callback(lambda _e, i=i: order.append(i))
+        kernel.succeed_many(events, value="v")
+        drain(kernel)
+        assert order == list(range(20))
+        assert all(e.value == "v" for e in events)
+
+    def test_succeed_many_interleaves_with_heap_by_sequence(self, kernel):
+        order = []
+        kernel.timeout(0.0).add_callback(lambda _e: order.append("timer"))
+        events = [kernel.event() for _ in range(3)]
+        for i, event in enumerate(events):
+            event.add_callback(lambda _e, i=i: order.append(i))
+        kernel.succeed_many(events)
+        drain(kernel)
+        # The zero-delay timeout was scheduled first, so it keeps its
+        # place ahead of the batch.
+        assert order == ["timer", 0, 1, 2]
+
+    def test_succeed_many_rejects_triggered_event(self, kernel):
+        ready = kernel.event()
+        ready.succeed(1)
+        fresh = kernel.event()
+        with pytest.raises(EventAlreadyTriggered):
+            kernel.succeed_many([fresh, ready])
+
+    def test_large_burst_uses_heapify_and_keeps_order(self, kernel):
+        # > 8 entries and >= heap size triggers the extend+heapify path.
+        order = []
+        events = [kernel.event() for _ in range(200)]
+        for i, event in enumerate(events):
+            event.add_callback(lambda _e, i=i: order.append(i))
+        kernel.succeed_many(events)
+        drain(kernel)
+        assert order == list(range(200))
+
+    def test_post_many_with_delay(self, kernel):
+        order = []
+        events = [kernel.event() for _ in range(5)]
+        for i, event in enumerate(events):
+            event._value = i
+            event.add_callback(lambda _e, i=i: order.append(i))
+        kernel._post_many(events, delay=2.5)
+        drain(kernel)
+        assert order == [0, 1, 2, 3, 4]
+        assert kernel.now == pytest.approx(2.5)
+
+
+class TestSlotsAndFastDrain:
+    def test_event_classes_have_no_instance_dict(self, kernel):
+        from repro.sim.eventloop import AllOf, AnyOf, Event, Process, Timeout
+
+        def gen():
+            yield kernel.timeout(1)
+        instances = [Event(kernel), Timeout(kernel, 1.0),
+                     AnyOf(kernel, [kernel.event()]),
+                     AllOf(kernel, [kernel.event()]),
+                     Process(kernel, gen())]
+        for obj in instances:
+            with pytest.raises(AttributeError):
+                _ = obj.__dict__
+
+    def test_fast_and_slow_dispatch_agree_on_mixed_workload(self):
+        from repro.sim import eventloop
+
+        def build_and_run():
+            kernel = Kernel()
+            fired = []
+
+            def worker(tag, delays):
+                for delay in delays:
+                    yield kernel.timeout(delay)
+                    fired.append((kernel.now, tag))
+                return tag
+
+            # Deterministic pseudo-random-ish delays, same both runs.
+            for tag in range(10):
+                delays = [((tag * 7 + step * 3) % 5) + 0.25
+                          for step in range(6)]
+                kernel.spawn(worker(tag, delays))
+            for i in range(500):
+                kernel.timeout((i * 37 % 101) / 10.0)
+            kernel.run()
+            return fired, kernel.now, kernel.processed_events
+
+        previous = eventloop.set_fast_dispatch(True)
+        try:
+            fast = build_and_run()
+            eventloop.set_fast_dispatch(False)
+            slow = build_and_run()
+        finally:
+            eventloop.set_fast_dispatch(previous)
+        assert fast == slow
+
+    def test_drain_survives_batch_growth_past_threshold(self):
+        # Start below the sorted-batch threshold, then grow the heap far
+        # beyond it from inside a callback: the drain must switch modes
+        # without dropping or reordering anything.
+        kernel = Kernel()
+        seen = []
+
+        def explode(_event):
+            events = [kernel.event() for _ in range(500)]
+            for i, event in enumerate(events):
+                event.add_callback(lambda _e, i=i: seen.append(i))
+            kernel.succeed_many(events)
+
+        trigger = kernel.event()
+        trigger.add_callback(explode)
+        trigger.succeed(None)
+        kernel.run()
+        assert seen == list(range(500))
+        assert kernel.processed_events == 501
+
+    def test_telemetry_flip_mid_drain_falls_back_to_step(self):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry(enabled=False)
+        kernel = Kernel(telemetry=telemetry)
+        for i in range(300):
+            kernel.timeout(float(i))
+        flip_at = []
+
+        def flip(_event):
+            telemetry.enable()
+            flip_at.append(kernel.now)
+        kernel.timeout(100.5).add_callback(flip)
+        kernel.run()
+        assert kernel.processed_events == 301
+        assert kernel.now == 299.0
+        # Events after the flip (t=101..299) went through step(), which
+        # counts them; the 101+1 events up to and including the flip
+        # were dispatched by the fast drain and are not.
+        counted = telemetry.metrics.value("kernel.events_dispatched",
+                                          default=0)
+        assert counted == 199
+
+    def test_callback_error_leaves_heap_consistent(self):
+        kernel = Kernel()
+        fired = []
+        for i in range(100):
+            kernel.timeout(float(i), value=i).add_callback(
+                lambda e: fired.append(e.value))
+        kernel.timeout(49.5).add_callback(
+            lambda _e: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError, match="boom"):
+            kernel.run()
+        survivors = len(fired)
+        assert survivors == 50  # 0..49 fired before the bomb
+        kernel.run()  # the remaining events are all still schedulable
+        assert fired == list(range(100))
+        assert kernel.processed_events == 101
