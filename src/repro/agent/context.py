@@ -80,6 +80,15 @@ class AgentContext:
         #: happened to issue.  Tokens stay unique per mailbox because
         #: they embed the instance id.
         self._token_counter = itertools.count(1)
+        self._sanitize(briefcase, "attach")
+
+    def _sanitize(self, briefcase: Optional[Briefcase], op: str) -> None:
+        """Present ``briefcase`` to the ambient sanitizer, if one is
+        installed (see :mod:`repro.analysis.sanitizer`).  One attribute
+        read + None check when sanitizing is off."""
+        sanitizer = getattr(self.node.kernel, "sanitizer", None)
+        if sanitizer is not None and briefcase is not None:
+            sanitizer.observe_briefcase(self, briefcase, op=op)
 
     def configure_retry(self, policy, rng=None) -> None:
         """Enable transport retries on ``send``/``meet`` (and therefore
@@ -182,6 +191,8 @@ class AgentContext:
             yield self.kernel.timeout(0)
             return False
         target, briefcase = filtered
+        self._sanitize(briefcase, "send")
+        self._sanitize(self.briefcase, "send-self")
         message = Message(target=target, briefcase=briefcase.snapshot(),
                           sender=self._sender_info(),
                           queue_timeout=queue_timeout,
@@ -233,6 +244,7 @@ class AgentContext:
             # layers' work is charged to the receiving agent here.
             yield self.kernel.timeout(
                 self.wrappers.depth * WRAPPER_LAYER_SECONDS)
+        self._sanitize(message.briefcase, "recv")
         return message
 
     def await_bc(self, timeout: Optional[float] = None) -> Briefcase:
@@ -315,6 +327,7 @@ class AgentContext:
     # -- mobility -------------------------------------------------------------------------
 
     def _transport_briefcase(self) -> Briefcase:
+        self._sanitize(self.briefcase, "go")
         transport = self.briefcase.snapshot()
         transport.put(wellknown.AGENT_NAME, self.name)
         transport.put(wellknown.PRINCIPAL, self.principal)

@@ -1,0 +1,47 @@
+"""repro.analysis: determinism & safety static analysis + sanitizer.
+
+The correctness-tooling layer (architecture §10): an AST rule engine
+with this codebase's invariants as the rule pack (``repro lint``), a
+committed-baseline / inline-suppression workflow, JSON + SARIF output,
+and a dynamic briefcase-aliasing sanitizer that rides the folder version
+counters at runtime.
+"""
+
+from repro.analysis.engine import (
+    Analyzer,
+    LintContext,
+    Rule,
+    RULES,
+    register,
+    rule_index,
+)
+from repro.analysis.findings import (
+    Finding,
+    Report,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.analysis.sanitizer import (
+    AliasingSanitizer,
+    RULE_ALIASING,
+    RULE_CONFLICT,
+    SANITIZER_RULES,
+    run_sanitized_scenarios,
+    sanitizing,
+)
+from repro.analysis import rules as _rules  # registers the rule pack
+
+__all__ = [
+    "Analyzer", "LintContext", "Rule", "RULES", "register", "rule_index",
+    "Finding", "Report", "render_json", "render_sarif", "render_text",
+    "apply_baseline", "load_baseline", "render_baseline", "write_baseline",
+    "AliasingSanitizer", "RULE_ALIASING", "RULE_CONFLICT",
+    "SANITIZER_RULES", "run_sanitized_scenarios", "sanitizing",
+]

@@ -1,0 +1,69 @@
+"""Baselines: grandfathered findings, committed next to the code.
+
+A baseline is a JSON file listing finding *fingerprints* (see
+:func:`repro.analysis.findings.fingerprinted`): findings whose
+fingerprint appears in the baseline are reported but do not fail the
+gate, so a new rule can land with its historical debt visible instead of
+either blocking the tree or being silently ignored.  Fingerprints hash
+``(path, rule, source line, occurrence)`` — not line numbers — so a
+baseline survives unrelated edits but expires the moment the offending
+line itself changes.
+
+The file format is deliberately readable and diff-friendly: one entry
+per finding, sorted, with the rule/path/snippet repeated so reviewers
+can see *what* was grandfathered without running the tool.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Set
+
+from repro.analysis.findings import Finding, Report, sort_findings
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """The canonical baseline document for ``findings``."""
+    entries: List[Dict[str, Any]] = []
+    for finding in sort_findings(findings):
+        entries.append({
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "snippet": finding.snippet,
+        })
+    document = {"version": 1, "tool": "repro-lint", "findings": entries}
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> int:
+    """Write a baseline covering ``findings``; returns the entry count."""
+    text = render_baseline(findings)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return len(json.loads(text)["findings"])
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The set of grandfathered fingerprints in ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ValueError(f"not a repro-lint baseline: {path}")
+    fingerprints: Set[str] = set()
+    for entry in document["findings"]:
+        fingerprint = entry.get("fingerprint") if isinstance(entry, dict) \
+            else None
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise ValueError(f"baseline entry without fingerprint: {entry!r}")
+        fingerprints.add(fingerprint)
+    return fingerprints
+
+
+def apply_baseline(report: Report, fingerprints: Set[str]) -> Report:
+    """Mark grandfathered findings in place; returns the report."""
+    from dataclasses import replace
+    report.findings = [
+        replace(finding, baselined=finding.fingerprint in fingerprints)
+        for finding in report.findings]
+    return report

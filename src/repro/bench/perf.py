@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import gc
 import hashlib
-import heapq
+import heapq  # lint: disable=KER001 - pre-optimisation kernel replica
 import json
 import random
 import statistics

@@ -31,7 +31,15 @@ Commands:
   pure function of ``--seed``; CI runs the command twice and diffs the
   two stdout documents, and the command exits non-zero if the E1
   report under the fast paths differs byte-for-byte from the
-  non-optimised path.
+  non-optimised path;
+- ``lint`` — run the determinism/safety rule pack (``repro.analysis``)
+  over the source tree and print findings as text, canonical JSON
+  (``--json``) or SARIF (``--sarif FILE``).  Findings matching the
+  committed baseline (``lint-baseline.json``) are reported but do not
+  fail the gate; ``--sanitize`` additionally runs the reference
+  scenarios under the briefcase-aliasing sanitizer and merges its
+  findings into the same document.  Output is a pure function of the
+  tree: CI runs the command twice and diffs byte-for-byte.
 """
 
 from __future__ import annotations
@@ -177,6 +185,83 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0 if document["flood"]["completion_rate"] >= 0.9 else 1
 
 
+def _default_lint_paths() -> List[str]:
+    """The installed ``repro`` package tree (works from any cwd)."""
+    import os
+
+    import repro
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def _default_baseline_path() -> str:
+    """``lint-baseline.json`` at the repository root (two levels above
+    the package: ``<root>/src/repro``)."""
+    import os
+
+    import repro
+    package = os.path.dirname(os.path.abspath(repro.__file__))
+    root = os.path.dirname(os.path.dirname(package))
+    return os.path.join(root, "lint-baseline.json")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis import (
+        Analyzer,
+        SANITIZER_RULES,
+        apply_baseline,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        rule_index,
+        run_sanitized_scenarios,
+        write_baseline,
+    )
+    from repro.analysis.findings import fingerprinted
+
+    paths = list(args.paths) or _default_lint_paths()
+    try:
+        report = Analyzer().analyze_paths(paths)
+    except (OSError, SyntaxError) as exc:
+        print(f"lint: cannot analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.sanitize:
+        runtime = run_sanitized_scenarios()
+        report.findings = fingerprinted(
+            list(report.findings) + list(runtime))
+        report.analyzed.extend(
+            sorted({f.path for f in runtime}))
+
+    baseline_path = args.baseline or _default_baseline_path()
+    if args.write_baseline:
+        count = write_baseline(report.findings, baseline_path)
+        print(f"wrote baseline with {count} finding(s) to {baseline_path}")
+        return 0
+    if not args.no_baseline and os.path.isfile(baseline_path):
+        try:
+            apply_baseline(report, load_baseline(baseline_path))
+        except (OSError, ValueError) as exc:
+            print(f"lint: bad baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if args.sarif:
+        index = dict(rule_index())
+        index.update(SANITIZER_RULES)
+        try:
+            with open(args.sarif, "w", encoding="utf-8") as handle:
+                handle.write(render_sarif(report, index))
+        except OSError as exc:
+            print(f"lint: cannot write SARIF: {exc}", file=sys.stderr)
+            return 2
+    print(render_json(report) if args.json else render_text(report),
+          end="")
+    return report.exit_code
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.bench.perf import run_perf
 
@@ -264,6 +349,31 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="BENCH_perf.json",
                       help="write the full timings document here; stdout "
                            "stays the deterministic semantics JSON")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/safety rule pack over the tree")
+    lint.add_argument("paths", nargs="*", default=[],
+                      help="files/directories to analyze (default: the "
+                           "installed repro package tree)")
+    lint.add_argument("--json", action="store_true",
+                      help="print the canonical JSON document instead "
+                           "of text")
+    lint.add_argument("--sarif", default=None, metavar="OUT.sarif",
+                      help="also write a SARIF 2.1.0 document here")
+    lint.add_argument("--baseline", default=None,
+                      metavar="BASELINE.json",
+                      help="baseline file (default: lint-baseline.json "
+                           "at the repository root)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline: every finding fails "
+                           "the gate")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write the current findings as the baseline "
+                           "and exit 0")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="also run the reference scenarios under the "
+                           "briefcase-aliasing sanitizer")
     return parser
 
 
@@ -289,6 +399,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_overload(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -29,7 +29,7 @@ operation.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.element import Element
 from repro.core.errors import BriefcaseError, FolderNotFoundError
@@ -41,12 +41,14 @@ class Briefcase:
 
     __slots__ = ("_folders", "_wire_stamp", "_wire_bytes", "_wire_size")
 
-    def __init__(self, folders: Optional[Dict[str, Iterable[Any]]] = None):
+    def __init__(self, folders: Optional[Dict[str, Iterable[Any]]]
+                 = None) -> None:
         self._folders: Dict[str, Folder] = {}
         #: Cache of the wire encoding, maintained by the codec.  The
         #: stamp is the fingerprint the cache was taken against; the
         #: bytes may be absent (None) when only the size is known.
-        self._wire_stamp: Optional[tuple] = None
+        self._wire_stamp: Optional[
+            Tuple[Tuple[Folder, int], ...]] = None
         self._wire_bytes: Optional[bytes] = None
         self._wire_size: Optional[int] = None
         if folders:
@@ -118,7 +120,7 @@ class Briefcase:
 
     # -- wire-encoding cache (maintained by repro.core.codec) ---------------------
 
-    def _wire_fingerprint(self) -> tuple:
+    def _wire_fingerprint(self) -> Tuple[Tuple[Folder, int], ...]:
         """The cache-validity token: (folder, version) pairs in order.
 
         Folder objects are held by identity (the tuple keeps them alive,

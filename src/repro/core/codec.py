@@ -62,7 +62,7 @@ before/after medians in a single run.
 from __future__ import annotations
 
 import struct
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro.core.briefcase import Briefcase
 from repro.core.element import Element
@@ -262,7 +262,9 @@ def check_briefcase(briefcase: Briefcase, limits: WireLimits) -> int:
 # -- decoding --------------------------------------------------------------------
 
 
-def _decode_caps(data_len: int, limits: Optional[WireLimits]) -> tuple:
+def _decode_caps(data_len: int,
+                 limits: Optional[WireLimits]
+                 ) -> Tuple[int, int, int, int]:
     """Resolve the decode caps: (max_folders, max_per_folder, max_total,
     max_element).
 
@@ -290,7 +292,7 @@ class _Reader:
     context instead of surfacing as a bare slice/struct error.
     """
 
-    def __init__(self, data: Buffer):
+    def __init__(self, data: Buffer) -> None:
         self.data = data
         self.pos = 0
 
@@ -304,13 +306,13 @@ class _Reader:
         return chunk
 
     def u8(self) -> int:
-        return _U8.unpack(self.take(_U8.size))[0]
+        return int(_U8.unpack(self.take(_U8.size))[0])
 
     def u16(self) -> int:
-        return _U16.unpack(self.take(_U16.size))[0]
+        return int(_U16.unpack(self.take(_U16.size))[0])
 
     def u32(self) -> int:
-        return _U32.unpack(self.take(_U32.size))[0]
+        return int(_U32.unpack(self.take(_U32.size))[0])
 
     @property
     def remaining(self) -> int:
@@ -353,7 +355,8 @@ def decode(data: Buffer,
     return _decode_reference(data, caps)
 
 
-def _decode_reference(data: Buffer, caps: tuple) -> Briefcase:
+def _decode_reference(data: Buffer,
+                      caps: Tuple[int, int, int, int]) -> Briefcase:
     """The original cursor-based decoder: readable specification and
     perf-harness baseline.  Must behave identically to
     :func:`_decode_fast` (property-tested)."""
@@ -414,7 +417,8 @@ def _truncated(wanted: int, pos: int, total: int) -> MalformedBriefcaseError:
         f"buffer has {total}")
 
 
-def _decode_fast(data: Buffer, caps: tuple) -> Briefcase:
+def _decode_fast(data: Buffer,
+                 caps: Tuple[int, int, int, int]) -> Briefcase:
     """Allocation-lean decoder: integer fields are unpacked in place.
 
     Validation order and every raised error match

@@ -12,9 +12,12 @@ element contents, which is what makes briefcases language-independent.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Union
 
 from repro.core.errors import BriefcaseError
+
+#: What the constructor coerces to exact ``bytes``.
+ElementData = Union[bytes, bytearray, memoryview, "Element"]
 
 
 class Element:
@@ -22,16 +25,17 @@ class Element:
 
     __slots__ = ("_data",)
 
-    def __init__(self, data: bytes = b""):
-        if isinstance(data, Element):
-            data = data._data
-        if isinstance(data, (bytearray, memoryview)):
-            data = bytes(data)
-        if not isinstance(data, bytes):
+    def __init__(self, data: ElementData = b"") -> None:
+        raw: Any = data
+        if isinstance(raw, Element):
+            raw = raw._data
+        elif isinstance(raw, (bytearray, memoryview)):
+            raw = bytes(raw)
+        if not isinstance(raw, bytes):
             raise TypeError(
                 f"Element wraps bytes; got {type(data).__name__} "
                 "(use Element.of() to encode Python values)")
-        self._data = data
+        self._data = raw
 
     # -- constructors ----------------------------------------------------------
 

@@ -10,13 +10,17 @@ fix (policy denials, missing routes, bad payloads), and ``None`` for
 ``LinkDownError`` classifies by its cause.
 """
 
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
 
 class TaxError(Exception):
     """Base class for all TAX errors."""
 
     #: Retryability: True (transient), False (permanent), None (unknown —
     #: classify by the exception's cause chain).
-    transient = None
+    transient: Optional[bool] = None
 
 
 class BriefcaseError(TaxError):
@@ -26,7 +30,7 @@ class BriefcaseError(TaxError):
 class FolderNotFoundError(BriefcaseError, KeyError):
     """A briefcase does not contain the requested folder."""
 
-    def __init__(self, name):
+    def __init__(self, name: str) -> None:
         super().__init__(name)
         self.name = name
 
@@ -149,12 +153,19 @@ def is_transient(exc: BaseException, max_depth: int = 16) -> bool:
     chain classifies as permanent — retrying an unknown failure is the
     dangerous default.
     """
-    seen = set()
-    current = exc
+    # Cycle detection keys on identity deliberately: exception equality
+    # is not well-defined and hashing arbitrary exceptions can raise.
+    # ``pinned`` holds a strong reference to every visited exception for
+    # the duration of the walk, so no id can be recycled mid-traversal
+    # even if a hostile ``transient`` property mutates the chain.
+    seen: Set[int] = set()
+    pinned: List[BaseException] = []
+    current: Optional[BaseException] = exc
     for _ in range(max_depth):
-        if current is None or id(current) in seen:
+        if current is None or id(current) in seen:  # lint: disable=DET005
             break
-        seen.add(id(current))
+        seen.add(id(current))  # lint: disable=DET005
+        pinned.append(current)
         verdict = getattr(current, "transient", None)
         if verdict is not None:
             return bool(verdict)

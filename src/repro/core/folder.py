@@ -28,7 +28,8 @@ class Folder:
 
     __slots__ = ("name", "_elements", "_version")
 
-    def __init__(self, name: str, elements: Iterable[Any] = ()):
+    def __init__(self, name: str,
+                 elements: Iterable[Any] = ()) -> None:
         if not isinstance(name, str) or not name:
             raise BriefcaseError("folder name must be a non-empty string")
         self.name = name

@@ -59,7 +59,7 @@ class AgentId:
     name: str
     instance: str
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         validate_agent_name(self.name)
         object.__setattr__(self, "instance", validate_instance(self.instance))
 
@@ -83,7 +83,7 @@ class InstanceAllocator:
     "make sure one continues to communicate with the same entity".
     """
 
-    def __init__(self, site_ordinal: int = 0):
+    def __init__(self, site_ordinal: int = 0) -> None:
         if site_ordinal < 0:
             raise ValueError("site_ordinal must be non-negative")
         self._site = site_ordinal
@@ -103,7 +103,7 @@ class Principal:
 
     name: str
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         validate_principal(self.name)
 
     @property

@@ -28,7 +28,7 @@ Three primitives:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 # -- wire limits ------------------------------------------------------------------
 
@@ -58,7 +58,7 @@ class WireLimits:
     max_element_bytes: int = MAX_ELEMENT_BYTES
     max_name_bytes: int = 0xFFFF
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for name in ("max_folders", "max_elements_per_folder",
                      "max_total_elements", "max_element_bytes",
                      "max_name_bytes"):
@@ -67,11 +67,12 @@ class WireLimits:
         if self.max_encoded_bytes is not None and self.max_encoded_bytes < 0:
             raise ValueError("max_encoded_bytes must be non-negative")
 
-    def to_config(self) -> dict:
+    def to_config(self) -> Dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_config(cls, config: Optional[dict]) -> Optional["WireLimits"]:
+    def from_config(cls, config: Optional[Dict[str, Any]]
+                    ) -> Optional["WireLimits"]:
         if config is None:
             return None
         fields = ("max_encoded_bytes", "max_folders",
@@ -95,7 +96,7 @@ class QueueLimits:
     max_messages: Optional[int] = None
     max_bytes: Optional[int] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for name in ("max_messages", "max_bytes"):
             value = getattr(self, name)
             if value is not None and value < 1:
@@ -128,7 +129,8 @@ class TokenBucket:
     __slots__ = ("rate", "capacity", "level", "updated_at")
 
     def __init__(self, rate: float, capacity: float,
-                 now: float = 0.0, level: Optional[float] = None):
+                 now: float = 0.0,
+                 level: Optional[float] = None) -> None:
         if rate < 0:
             raise ValueError("rate must be non-negative")
         if capacity <= 0:
@@ -189,7 +191,7 @@ class BreakerConfig:
     #: Probes allowed through while half-open.
     half_open_probes: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
         if self.cooldown_seconds < 0:
@@ -197,11 +199,12 @@ class BreakerConfig:
         if self.half_open_probes < 1:
             raise ValueError("half_open_probes must be at least 1")
 
-    def to_config(self) -> dict:
+    def to_config(self) -> Dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_config(cls, config: Optional[dict]) -> Optional["BreakerConfig"]:
+    def from_config(cls, config: Optional[Dict[str, Any]]
+                    ) -> Optional["BreakerConfig"]:
         if config is None:
             return None
         fields = ("failure_threshold", "cooldown_seconds",
@@ -220,7 +223,8 @@ class CircuitBreaker:
 
     def __init__(self, config: Optional[BreakerConfig] = None,
                  on_transition: Optional[
-                     Callable[[str, str, float], None]] = None):
+                     Callable[[str, str, float], None]] = None
+                 ) -> None:
         self.config = config or BreakerConfig()
         self.on_transition = on_transition
         self.state = BREAKER_CLOSED
@@ -246,7 +250,8 @@ class CircuitBreaker:
     def allow(self, now: float) -> bool:
         """May the guarded operation be attempted at ``now``?"""
         if self.state == BREAKER_OPEN:
-            if now - self.opened_at >= self.config.cooldown_seconds:
+            opened_at = self.opened_at if self.opened_at is not None else now
+            if now - opened_at >= self.config.cooldown_seconds:
                 self._transition(BREAKER_HALF_OPEN, now)
             else:
                 self.fast_failures += 1
@@ -272,7 +277,7 @@ class CircuitBreaker:
                 self.consecutive_failures >= self.config.failure_threshold:
             self._transition(BREAKER_OPEN, now)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         return {
             "state": self.state,
             "consecutive_failures": self.consecutive_failures,

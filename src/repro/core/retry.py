@@ -16,7 +16,13 @@ schedule stays deterministic across hops without shipping RNG state.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Optional
+from typing import Any, Dict, Optional, Protocol
+
+
+class JitterSource(Protocol):
+    """Anything that can draw a uniform float (a seeded RandomStream)."""
+
+    def uniform(self, low: float, high: float) -> float: ...
 
 
 @dataclass(frozen=True)
@@ -38,7 +44,7 @@ class RetryPolicy:
     max_delay: float = 5.0
     jitter: float = 0.25
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if self.base_delay < 0 or self.max_delay < 0:
@@ -53,7 +59,8 @@ class RetryPolicy:
         """Number of *re*-tries after the first attempt."""
         return self.max_attempts - 1
 
-    def delay(self, retry_index: int, rng=None) -> float:
+    def delay(self, retry_index: int,
+              rng: Optional[JitterSource] = None) -> float:
         """Backoff before the ``retry_index``-th retry (0-based).
 
         ``rng`` is anything with a ``uniform(low, high)`` method (a
@@ -70,11 +77,12 @@ class RetryPolicy:
 
     # -- travelling with a briefcase -------------------------------------------
 
-    def to_config(self) -> dict:
+    def to_config(self) -> Dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_config(cls, config: Optional[dict]) -> Optional["RetryPolicy"]:
+    def from_config(cls, config: Optional[Dict[str, Any]]
+                    ) -> Optional["RetryPolicy"]:
         if config is None:
             return None
         known = {f: config[f] for f in
@@ -83,7 +91,8 @@ class RetryPolicy:
         return cls(**known)
 
 
-def install_retry(briefcase, policy: "RetryPolicy", seed: int = 0) -> None:
+def install_retry(briefcase: Any, policy: "RetryPolicy",
+                  seed: int = 0) -> None:
     """Attach ``policy`` to an agent briefcase (picked up at VM launch).
 
     ``seed`` feeds the per-instance jitter stream at each destination.

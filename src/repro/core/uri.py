@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.core.errors import UriSyntaxError
 from repro.core.identity import (
@@ -57,7 +57,7 @@ class AgentUri:
     name: Optional[str] = None
     instance: Optional[str] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.host is not None and not _HOST_RE.match(self.host):
             raise UriSyntaxError(f"invalid host {self.host!r}")
         if self.port is not None:
@@ -120,7 +120,8 @@ class AgentUri:
             raise UriSyntaxError(f"invalid agent URI {text!r}: {exc}") from exc
 
     @staticmethod
-    def _parse_agentid(part: str, whole: str):
+    def _parse_agentid(part: str, whole: str
+                       ) -> Tuple[Optional[str], Optional[str]]:
         if not part:
             raise UriSyntaxError(f"missing agent id in {whole!r}")
         name_str, colon, instance_str = part.partition(":")
@@ -136,7 +137,7 @@ class AgentUri:
     # -- formatting ---------------------------------------------------------------
 
     def __str__(self) -> str:
-        parts = []
+        parts: List[str] = []
         if self.host is not None:
             parts.append(SCHEME)
             parts.append(self.host)

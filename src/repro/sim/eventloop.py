@@ -80,6 +80,26 @@ def fast_dispatch_enabled() -> bool:
     return _fast_dispatch
 
 
+#: Ambient runtime sanitizer (see :mod:`repro.analysis.sanitizer`).
+#: When set, every kernel constructed afterwards carries it as
+#: ``kernel.sanitizer`` and the agent-context taps feed it briefcase
+#: observations.  Kept here (not in repro.analysis) so the simulation
+#: layer never imports the analysis layer.
+_ambient_sanitizer: Optional[Any] = None
+
+
+def set_ambient_sanitizer(sanitizer: Optional[Any]) -> Optional[Any]:
+    """Install the ambient sanitizer; returns the previous one."""
+    global _ambient_sanitizer
+    previous = _ambient_sanitizer
+    _ambient_sanitizer = sanitizer
+    return previous
+
+
+def ambient_sanitizer() -> Optional[Any]:
+    return _ambient_sanitizer
+
+
 class Event:
     """A happening at a point in simulated time.
 
@@ -377,6 +397,9 @@ class Kernel:
         self.telemetry = telemetry if telemetry is not None \
             else Telemetry(enabled=False)
         self.telemetry.bind_clock(lambda: self._now)
+        #: Runtime briefcase sanitizer, or None (the usual case); agent
+        #: contexts check this once per tap.
+        self.sanitizer: Optional[Any] = _ambient_sanitizer
 
     @property
     def now(self) -> float:

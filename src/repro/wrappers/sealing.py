@@ -149,7 +149,7 @@ class SealingWrapper(AgentWrapper):
             return None
         try:
             restored = codec.decode(plaintext)
-        except Exception:  # noqa: BLE001 - hostile payloads
+        except Exception:  # lint: disable=ERR001 - hostile payloads: any decode failure is a rejection, never a retry
             self.rejected_count += 1
             return None
         briefcase.drop(SEALED_FOLDER)

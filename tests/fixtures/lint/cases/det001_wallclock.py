@@ -1,0 +1,12 @@
+"""DET001 fixture: wall-clock reads (never imported, only linted)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()            # finding: wall clock
+    label = datetime.now()           # finding: wall clock
+    tick = time.perf_counter()       # ok: interval timer, not wall clock
+    allowed = time.time()  # lint: disable=DET001 - wall-clock wanted here
+    return started, label, tick, allowed

@@ -1,0 +1,15 @@
+"""DET002 fixture: unseeded randomness (never imported, only linted)."""
+
+import os
+import random
+import uuid
+
+
+def entropy():
+    a = random.random()              # finding: global stream
+    b = os.urandom(8)                # finding: OS entropy
+    c = uuid.uuid4()                 # finding: OS entropy
+    d = random.Random()              # finding: unseeded constructor
+    e = random.Random(42)            # ok: explicit seed
+    f = random.random()  # lint: disable=DET002 - fixture exercising suppression
+    return a, b, c, d, e, f

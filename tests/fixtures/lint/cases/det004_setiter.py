@@ -1,0 +1,11 @@
+"""DET004 fixture: hash-ordered set iteration."""
+
+
+def orders(items):
+    out = []
+    for name in {"b", "a", "c"}:     # finding: set literal iteration
+        out.append(name)
+    doubled = [x * 2 for x in set(items)]    # finding: set(...) iteration
+    ok = [x for x in sorted(set(items))]     # ok: sorted() wraps the set
+    quiet = [x for x in set(items)]  # lint: disable=DET004
+    return out, doubled, ok, quiet

@@ -1,0 +1,11 @@
+"""DET005 fixture: identity-keyed ordering and membership."""
+
+
+def identity_games(objects, seen, registry):
+    ranked = sorted(objects, key=id)         # finding: key=id
+    if id(objects[0]) in seen:               # finding: id membership
+        return ranked
+    seen.add(id(objects[0]))                 # finding: id into collection
+    registry[id(objects[0])] = 1             # finding: id as key
+    pinned = id(objects[0]) in seen  # lint: disable=DET005 - refs pinned by caller
+    return ranked, pinned

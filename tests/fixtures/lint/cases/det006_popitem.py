@@ -1,0 +1,8 @@
+"""DET006 fixture: order-dependent dict.popitem."""
+
+
+def drain(mapping):
+    first = mapping.popitem()                # finding: popitem
+    second = mapping.pop("key", None)        # ok: explicit key
+    third = mapping.popitem()  # lint: disable=DET006
+    return first, second, third

@@ -1,0 +1,7 @@
+"""DET003 negative fixture: environment reads OUTSIDE repro.core /
+repro.sim scope are allowed (CLI entry points may read the shell)."""
+
+import os
+
+DEBUG = os.environ.get("REPRO_DEBUG")
+LEVEL = os.getenv("REPRO_LEVEL", "info")

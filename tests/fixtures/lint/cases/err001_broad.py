@@ -1,0 +1,39 @@
+"""ERR001 fixture: broad excepts that swallow the exception."""
+
+
+def swallows(work, log):
+    try:
+        work()
+    except Exception:                        # finding: swallowed
+        pass
+
+    try:
+        work()
+    except (ValueError, Exception):          # finding: tuple includes broad
+        log("failed")
+
+    try:
+        work()
+    except:                                  # finding: bare except
+        log("failed")
+
+    try:
+        work()
+    except Exception as exc:                 # ok: exception object is used
+        log(str(exc))
+
+    try:
+        work()
+    except Exception:                        # ok: re-raised
+        log("failed")
+        raise
+
+    try:
+        work()
+    except ValueError:                       # ok: narrow type
+        pass
+
+    try:
+        work()
+    except Exception:  # lint: disable=ERR001 - fixture suppression
+        pass

@@ -1,0 +1,27 @@
+"""MUT001 fixture: mutable default argument values."""
+
+import collections
+
+
+def collect(item, bucket=[]):                # finding: list display
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}):                    # finding: dict display
+    return table.setdefault(key, 0)
+
+
+def count(key, counters=collections.Counter()):   # finding: mutable call
+    counters[key] += 1
+    return counters
+
+
+def safe(item, bucket=None):                 # ok: None default
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def quiet(item, bucket=[]):  # lint: disable=MUT001
+    return bucket

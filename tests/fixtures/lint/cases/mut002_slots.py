@@ -1,0 +1,30 @@
+"""MUT002 fixture: event/message subclasses without __slots__."""
+
+from repro.sim.eventloop import Event
+from repro.firewall import message
+
+
+class FlashEvent(Event):                     # finding: no __slots__
+    def __init__(self, kernel, colour):
+        super().__init__(kernel)
+        self.colour = colour
+
+
+class TaggedMessage(message.Message):        # finding: qualified base
+    pass
+
+
+class SlottedEvent(Event):                   # ok: declares __slots__
+    __slots__ = ("colour",)
+
+    def __init__(self, kernel, colour):
+        super().__init__(kernel)
+        self.colour = colour
+
+
+class QuietEvent(Event):  # lint: disable=MUT002
+    pass
+
+
+class Unrelated:                             # ok: not an event subclass
+    pass

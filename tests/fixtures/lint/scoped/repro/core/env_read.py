@@ -1,0 +1,11 @@
+"""DET003 positive fixture: env reads inside the repro.core scope.
+
+The package markers around this file make the analyzer infer the
+module name ``repro.core.env_read``, which is inside ENV_SCOPES.
+"""
+
+import os
+
+DEBUG = os.environ.get("REPRO_DEBUG")        # finding: environ access
+LEVEL = os.getenv("REPRO_LEVEL", "info")     # finding: getenv call
+QUIET = os.getenv("REPRO_QUIET")  # lint: disable=DET003

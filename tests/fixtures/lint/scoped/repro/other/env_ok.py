@@ -1,0 +1,7 @@
+"""DET003 negative fixture: ``repro.other`` is outside ENV_SCOPES, so
+environment reads here are not findings."""
+
+import os
+
+DEBUG = os.environ.get("REPRO_DEBUG")
+LEVEL = os.getenv("REPRO_LEVEL", "info")
