@@ -28,6 +28,7 @@ from repro.core.uri import AgentUri
 from repro.core import wellknown
 from repro.agent.mailbox import Mailbox
 from repro.firewall.message import DEFAULT_QUEUE_TIMEOUT, Message, SenderInfo
+from repro.obs.propagation import link_args, span_args
 from repro.sim.errors import StopProcess
 from repro.sim.ledger import CostLedger
 from repro.sim.network import NetworkError
@@ -69,6 +70,17 @@ class AgentContext:
         #: Lifecycle span opened by the launching VM (None for drivers
         #: and service contexts, which are never launched).
         self.run_span = None
+        #: Causal trace node for this residency (a
+        #: :class:`~repro.obs.propagation.TraceContext`).  Set by the VM
+        #: at launch from the transport message's context; rooted lazily
+        #: for driver/service contexts; always None when telemetry is
+        #: disabled.
+        self.trace = None
+        #: Trace node outbound messages should carry instead of a fresh
+        #: per-send child — set for the duration of a go/spawn meet (and
+        #: its retries) so every transport attempt of one hop shares the
+        #: hop's causal node.
+        self._outbound_trace = None
         #: Transport retry configuration (None: fail on first error,
         #: the pre-resilience behaviour).  See :meth:`configure_retry`.
         self.retry_policy = None
@@ -161,10 +173,29 @@ class AgentContext:
                 labels["agent"] = self.name
             telemetry.metrics.inc("transport.retries", **labels)
 
+    def _current_trace(self):
+        """This context's causal node, rooted lazily for contexts that
+        were never launched from a traced message (drivers, services).
+        None whenever telemetry is disabled."""
+        telemetry = self.kernel.telemetry
+        if not telemetry.enabled:
+            return None
+        if self.trace is None:
+            self.trace = telemetry.new_trace()
+        return self.trace
+
     def _retry_wait(self, op: str, retry_index: int):
         """Spend the backoff before retry ``retry_index`` (a generator)."""
         delay = self.retry_policy.delay(retry_index, self.retry_rng)
         self._count_retry(op)
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            trace = self._outbound_trace or self.trace
+            track = f"agent:{self.name}" \
+                if self.registration is not None else "agent:unattached"
+            telemetry.tracer.instant(
+                "transport.retry", category="agent", track=track,
+                op=op, attempt=retry_index + 1, **link_args(trace))
         self.log(f"{op} retry #{retry_index + 1} in {delay:.3f}s")
         yield self.kernel.timeout(delay)
 
@@ -193,10 +224,18 @@ class AgentContext:
         target, briefcase = filtered
         self._sanitize(briefcase, "send")
         self._sanitize(self.briefcase, "send-self")
+        telemetry = self.kernel.telemetry
+        trace = None
+        if telemetry.enabled:
+            # A hop in progress pins every transport attempt to the hop's
+            # causal node; ordinary sends each get a child node of this
+            # residency.  Envelope-only: zero wire bytes either way.
+            trace = self._outbound_trace or \
+                telemetry.child_context(self._current_trace())
         message = Message(target=target, briefcase=briefcase.snapshot(),
                           sender=self._sender_info(),
                           queue_timeout=queue_timeout,
-                          priority=priority)
+                          priority=priority, trace=trace)
         retries = 0
         while True:
             try:
@@ -214,7 +253,6 @@ class AgentContext:
                     raise
                 yield from self._retry_wait("send", retries)
                 retries += 1
-        telemetry = self.kernel.telemetry
         if ok and telemetry.enabled and self.registration is not None:
             telemetry.metrics.inc("agent.messages_out", agent=self.name)
         return ok
@@ -308,7 +346,18 @@ class AgentContext:
         token = request_bc.get_text(wellknown.MEET_TOKEN)
         if token is not None:
             response.put(wellknown.MEET_TOKEN, token)
-        return (yield from self.send(AgentUri.parse(reply_to), response))
+        # Replies continue the *requester's* causal chain, so service and
+        # VM acks do not root stray traces of their own.
+        telemetry = self.kernel.telemetry
+        previous = self._outbound_trace
+        if telemetry.enabled and isinstance(request, Message) and \
+                request.trace is not None:
+            self._outbound_trace = telemetry.child_context(request.trace)
+        try:
+            return (yield from self.send(AgentUri.parse(reply_to),
+                                         response))
+        finally:
+            self._outbound_trace = previous
 
     def call_service(self, service_name: str, op: str,
                      briefcase: Optional[Briefcase] = None,
@@ -345,11 +394,16 @@ class AgentContext:
         target = self._resolve(vm_target)
         transport = self._transport_briefcase()
         telemetry = self.kernel.telemetry
+        # The hop's causal node: a child of this residency that every
+        # transport attempt (including retries) of this go carries.
+        hop_trace = telemetry.child_context(self._current_trace()) \
+            if telemetry.enabled else None
         span = telemetry.tracer.begin(
             "go", category="agent", track=f"agent:{self.name}",
             agent=self.name, src=self.host_name, dst=str(target),
-            dst_host=target.host)
+            dst_host=target.host, **span_args(hop_trace))
         self.wrappers.on_depart(self, target)
+        self._outbound_trace = hop_trace
         try:
             reply = yield from self.meet(target, transport, timeout=timeout)
         except (TaxError, NetworkError) as exc:
@@ -357,6 +411,8 @@ class AgentContext:
             if telemetry.enabled:
                 telemetry.metrics.inc("agent.migration_failures", op="go")
             raise MigrationError(f"go({target}) failed: {exc}") from exc
+        finally:
+            self._outbound_trace = None
         status = reply.get_text(wellknown.STATUS, "error")
         if status != "ok":
             error = reply.get_text(wellknown.ERROR, "launch failed")
@@ -370,6 +426,13 @@ class AgentContext:
         if telemetry.enabled:
             telemetry.metrics.inc("agent.migrations", op="go")
             telemetry.metrics.inc("agent.hops", agent=self.name)
+            if span.duration is not None:
+                telemetry.metrics.observe(
+                    "agent.hop_seconds", span.duration,
+                    agent=self.name, op="go")
+            telemetry.flight.record(self.host_name, "hop",
+                                    agent=self.name, op="go",
+                                    dst=target.host)
         self.firewall.unregister_agent(self.registration.agent_id)
         if self.mailbox is not None:
             self.mailbox.close()
@@ -386,10 +449,13 @@ class AgentContext:
         target = self._resolve(vm_target)
         transport = self._transport_briefcase()
         telemetry = self.kernel.telemetry
+        hop_trace = telemetry.child_context(self._current_trace()) \
+            if telemetry.enabled else None
         span = telemetry.tracer.begin(
             "spawn", category="agent", track=f"agent:{self.name}",
             agent=self.name, src=self.host_name, dst=str(target),
-            dst_host=target.host)
+            dst_host=target.host, **span_args(hop_trace))
+        self._outbound_trace = hop_trace
         try:
             reply = yield from self.meet(target, transport, timeout=timeout)
         except (TaxError, NetworkError) as exc:
@@ -398,6 +464,8 @@ class AgentContext:
                 telemetry.metrics.inc("agent.migration_failures",
                                       op="spawn")
             raise MigrationError(f"spawn({target}) failed: {exc}") from exc
+        finally:
+            self._outbound_trace = None
         status = reply.get_text(wellknown.STATUS, "error")
         if status != "ok":
             error = reply.get_text(wellknown.ERROR, "launch failed")
@@ -414,6 +482,13 @@ class AgentContext:
         if telemetry.enabled:
             telemetry.metrics.inc("agent.migrations", op="spawn")
             telemetry.metrics.inc("agent.hops", agent=self.name)
+            if span.duration is not None:
+                telemetry.metrics.observe(
+                    "agent.hop_seconds", span.duration,
+                    agent=self.name, op="spawn")
+            telemetry.flight.record(self.host_name, "hop",
+                                    agent=self.name, op="spawn",
+                                    dst=target.host)
         return AgentUri.parse(clone_uri)
 
     # -- time ------------------------------------------------------------------------------

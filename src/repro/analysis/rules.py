@@ -22,6 +22,7 @@ ERR001    broad ``except`` that swallows the exception object
 KER001    scheduling primitives bypassing the simulation kernel
 MUT001    mutable default argument values
 MUT002    event/message subclasses without ``__slots__``
+OBS001    telemetry backends constructed outside the facade
 ========  ==========================================================
 
 See ``docs/static-analysis.md`` for the catalogue with rationale and
@@ -426,6 +427,50 @@ class MissingSlotsRule(Rule):
                     qualified.rsplit(".", 1)[-1] in SLOTTED_BASES:
                 return qualified
         return None
+
+
+#: The only module allowed to construct telemetry backends directly —
+#: the :class:`~repro.obs.telemetry.Telemetry` facade, which keeps the
+#: registry, tracer, flight recorder and id allocator enabled/disabled
+#: in lockstep.
+TELEMETRY_FACADE_MODULES = ("repro.obs.telemetry",)
+
+#: Construction targets that must flow through the facade, in every
+#: import spelling the resolver can produce.
+TELEMETRY_BACKENDS = frozenset({
+    "MetricsRegistry",
+    "repro.obs.MetricsRegistry",
+    "repro.obs.metrics.MetricsRegistry",
+    "Tracer",
+    "repro.obs.Tracer",
+    "repro.obs.tracing.Tracer",
+})
+
+
+@register
+class TelemetryFacadeRule(Rule):
+    id = "OBS001"
+    severity = "warning"
+    description = ("MetricsRegistry/Tracer constructed outside the "
+                   "Telemetry facade drifts out of the enable/disable "
+                   "lifecycle")
+
+    def applies_to(self, module: str) -> bool:
+        return module not in TELEMETRY_FACADE_MODULES
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(ctx, node)
+            if target in TELEMETRY_BACKENDS:
+                short = target.rsplit(".", 1)[-1]
+                yield self.finding(
+                    ctx, node,
+                    f"{short} constructed directly: spans/metrics "
+                    f"recorded here never reach exports and ignore "
+                    f"enable()/disable(); go through the Telemetry "
+                    f"facade (kernel.telemetry)")
 
 
 def all_rule_ids() -> Tuple[str, ...]:

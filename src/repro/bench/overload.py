@@ -261,6 +261,13 @@ def run_overload(seed: int = 7, governed: bool = True,
             "fast_failed": probe_errors.get("CircuitOpenError", 0),
             "links": cluster.network.breaker_snapshots(),
         },
+        # Poison quarantines auto-dump the target's flight recorder, so
+        # the document shows exactly what the firewall was doing in the
+        # moments before each hostile buffer arrived.
+        "flight_recorder": {
+            "dumps": list(cluster.telemetry.flight.dumps),
+            "dumps_evicted": cluster.telemetry.flight.dumps_evicted,
+        },
         "stats": {
             "transport_retries": counter_total("transport.retries"),
             "overload_rejections":

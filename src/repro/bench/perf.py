@@ -16,7 +16,13 @@ baselines **in the same process and the same file**, so every
   (dict-based event classes, per-event :meth:`step` call — see
   :class:`_BaselineKernel`, transcribed from the original source);
 - ``e1_end_to_end`` — experiment E1 wall time with every fast path on
-  vs every fast path off.
+  vs every fast path off;
+- ``telemetry_codec_roundtrip`` — the raw-wire cost of causal trace
+  propagation: encode/decode with the reserved ``TRACE-CONTEXT`` folder
+  injected and re-extracted vs the same round trip without it;
+- ``telemetry_kernel_drain`` — the timeout-drain workload on a kernel
+  with telemetry *enabled* (per-event counters, no fast drain) vs the
+  default disabled kernel, quantifying what the no-op path saves.
 
 The codec baseline legs run the *actual* old code (the reference
 decoder and uncached encoder are kept in ``codec.py`` behind
@@ -312,6 +318,66 @@ def _bench_kernel(repeats: int, n_events: int, seed: int) -> Dict:
     return _bench_pair("kernel_dispatch", baseline, fast, repeats, workload)
 
 
+def _bench_telemetry(repeats: int, inner: int, n_events: int,
+                     seed: int) -> List[Dict]:
+    """Telemetry-on vs telemetry-off: what does observability cost?
+
+    Baseline legs run *with* telemetry (the slower regime), fast legs
+    without, so ``speedup`` reads as "turning telemetry off buys this
+    much".  The codec pair also exercises the propagation folder —
+    inject + encode + decode + extract — because that is the only wire
+    cost tracing can ever add.
+    """
+    from repro.obs.propagation import TraceIdAllocator, extract, inject
+    from repro.obs.telemetry import Telemetry
+
+    rows = []
+    briefcase = make_codec_workload()
+    context = TraceIdAllocator().root()
+    with fast_paths(True):
+        wire = codec.encode(briefcase)
+    workload = {"folders": 48, "elements_per_folder": 48,
+                "element_bytes": 48, "wire_bytes": len(wire),
+                "inner_iterations": inner}
+
+    def codec_leg(traced: bool) -> Callable[[], float]:
+        def sample() -> float:
+            with fast_paths(True):
+                start = time.perf_counter()
+                for _ in range(inner):
+                    if traced:
+                        inject(briefcase, context)
+                    decoded = codec.decode(codec.encode(briefcase))
+                    if traced:
+                        extract(decoded)
+                        extract(briefcase)  # restore the workload
+                return time.perf_counter() - start
+        return sample
+
+    rows.append(_bench_pair("telemetry_codec_roundtrip",
+                            codec_leg(True), codec_leg(False),
+                            repeats, workload))
+
+    delays = _timer_delays(n_events, seed)
+    kernel_workload = {"events": n_events,
+                       "kind": "shuffled-timeout-drain", "seed": seed}
+
+    def drain_leg(enabled: bool) -> Callable[[], float]:
+        def sample() -> float:
+            kernel = Kernel(telemetry=Telemetry(enabled=enabled))
+            for delay in delays:
+                kernel.timeout(delay)
+            with fast_paths(True):
+                start = time.perf_counter()
+                kernel.run()
+                return time.perf_counter() - start
+        return sample
+
+    rows.append(_bench_pair("telemetry_kernel_drain", drain_leg(True),
+                            drain_leg(False), repeats, kernel_workload))
+    return rows
+
+
 def _e1_report_dict(seed: int, telemetry: bool) -> Dict:
     from repro.bench.experiments import run_e1
     from repro.bench.runner import _report_to_dict
@@ -369,6 +435,33 @@ def _coalescing_determinism_digest() -> str:
     return _sha256(_canonical(outcomes[0]))
 
 
+def _telemetry_semantics() -> Dict:
+    """Prove telemetry is a pure observer: the traced quickstart run
+    with telemetry enabled and disabled must move the same bytes over
+    the same links and finish at the same virtual instant — tracing
+    rides the message envelope, never the wire."""
+    from repro.obs.demo import run_traced_quickstart
+    from repro.obs.telemetry import Telemetry
+
+    runs = {}
+    for label, enabled in (("on", True), ("off", False)):
+        cluster, result = run_traced_quickstart(
+            telemetry=Telemetry(enabled=enabled))
+        runs[label] = {
+            "remote_bytes": cluster.network.total_remote_bytes(),
+            "remote_messages": cluster.network.total_remote_messages(),
+            "final_now": round(cluster.kernel.now, 9),
+            "greetings": len(result.folder("GREETINGS").texts()),
+        }
+    return {
+        "on": runs["on"],
+        "off": runs["off"],
+        "wire_identical":
+            runs["on"]["remote_bytes"] == runs["off"]["remote_bytes"],
+        "runs_identical": runs["on"] == runs["off"],
+    }
+
+
 def _semantics(seed: int) -> Dict:
     """Everything here must be a pure function of ``seed``."""
     briefcase = make_codec_workload()
@@ -422,6 +515,7 @@ def _semantics(seed: int) -> Dict:
                 e1_fast_telemetry == e1_baseline_telemetry,
         },
         "coalescing_digest": _coalescing_determinism_digest(),
+        "telemetry": _telemetry_semantics(),
     }
 
 
@@ -437,6 +531,8 @@ def build_document(seed: int = 2000, repeats: int = 5,
     benchmarks[row.pop("name")] = row
     row = _bench_e1(seed, e1_repeats)
     benchmarks[row.pop("name")] = row
+    for row in _bench_telemetry(repeats, inner, kernel_events, seed):
+        benchmarks[row.pop("name")] = row
     semantics = _semantics(seed)
     return {
         "schema": "repro-perf/1",
@@ -453,7 +549,9 @@ def semantics_ok(document: Dict) -> bool:
                 and semantics["codec"]["decoders_agree"]
                 and semantics["kernel_regimes_agree"]
                 and semantics["e1"]["reports_identical"]
-                and semantics["e1"]["telemetry_reports_identical"])
+                and semantics["e1"]["telemetry_reports_identical"]
+                and semantics["telemetry"]["wire_identical"]
+                and semantics["telemetry"]["runs_identical"])
 
 
 def render_semantics_json(document: Dict) -> str:

@@ -225,6 +225,13 @@ def run_chaos(seed: int = 7, plan: str = "mid-crash",
             "unreachable_hosts": unreachable,
         },
         "rear_guard": guard.stats(),
+        # Post-mortems: every host crash freezes that host's flight
+        # recorder (admissions, rejections, breaker flips, hops) into a
+        # dump, so the document carries the last moments before impact.
+        "flight_recorder": {
+            "dumps": list(cluster.telemetry.flight.dumps),
+            "dumps_evicted": cluster.telemetry.flight.dumps_evicted,
+        },
         "stats": {
             "host_crashes": _counter_total(metrics, "host.crashes"),
             "faults_injected": _counter_total(metrics, "faults.injected"),

@@ -32,6 +32,15 @@ Commands:
   two stdout documents, and the command exits non-zero if the E1
   report under the fast paths differs byte-for-byte from the
   non-optimised path;
+- ``report`` — run the traced quickstart itinerary and print the
+  per-trace itinerary + SLO report as canonical JSON (``--json``/
+  ``--html`` also write the document and a self-contained HTML
+  rendering to files).  The stdout JSON is a pure function of the
+  scenario: CI runs the command twice and diffs byte-for-byte;
+- ``metrics`` — run the traced quickstart and print the metrics
+  registry as OpenMetrics text (histograms with cumulative buckets,
+  ``# EOF`` terminated).  Deterministic like ``report``; CI diffs two
+  runs byte-for-byte;
 - ``lint`` — run the determinism/safety rule pack (``repro.analysis``)
   over the source tree and print findings as text, canonical JSON
   (``--json``) or SARIF (``--sarif FILE``).  Findings matching the
@@ -135,6 +144,51 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 1
     if not wrote:
         print("(no output file requested; use --chrome and/or --jsonl)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.demo import run_traced_quickstart
+    from repro.obs.report import (
+        build_report, render_report_html, render_report_json)
+
+    cluster, _ = run_traced_quickstart()
+    document = build_report(cluster.telemetry,
+                            meta={"scenario": "traced-quickstart"})
+    rendered = render_report_json(document)
+    print(rendered)
+    try:
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(f"wrote report JSON to {args.json_path}",
+                  file=sys.stderr)
+        if args.html_path:
+            with open(args.html_path, "w", encoding="utf-8") as handle:
+                handle.write(render_report_html(document))
+            print(f"wrote report HTML to {args.html_path}",
+                  file=sys.stderr)
+    except OSError as exc:
+        print(f"cannot write report: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.demo import run_traced_quickstart
+    from repro.obs.openmetrics import render_openmetrics
+
+    cluster, _ = run_traced_quickstart()
+    rendered = render_openmetrics(cluster.telemetry.metrics.snapshot())
+    print(rendered, end="")
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        except OSError as exc:
+            print(f"cannot write metrics: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote OpenMetrics text to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -311,6 +365,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--jsonl", default=None, metavar="OUT.jsonl",
                        help="write the span/instant rows as JSONL here")
 
+    report = sub.add_parser(
+        "report",
+        help="run the traced quickstart; print the itinerary/SLO report")
+    report.add_argument("--json", dest="json_path", default=None,
+                        metavar="REPORT.json",
+                        help="also write the canonical JSON document here")
+    report.add_argument("--html", dest="html_path", default=None,
+                        metavar="REPORT.html",
+                        help="also write a self-contained HTML rendering")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the traced quickstart; print OpenMetrics text")
+    metrics.add_argument("--out", default=None, metavar="METRICS.txt",
+                         help="also write the OpenMetrics text here")
+
     bench = sub.add_parser(
         "bench", help="run E1 under telemetry; write a JSON report")
     bench.add_argument("--seed", type=int, default=2000)
@@ -391,6 +461,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_site(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "chaos":

@@ -66,6 +66,13 @@ TRAIL = "TRAIL"
 #: the destination VM re-installs it into the new context at launch.
 RETRY = "RETRY-POLICY"
 
+#: Reserved system folder: the W3C-traceparent-style causal trace
+#: context (see :mod:`repro.obs.propagation`).  It exists only on the
+#: raw wire — firewalls strip it into the message envelope on receipt,
+#: and it is never present while a briefcase is resident on a host.
+TRACE_CONTEXT = "TRACE-CONTEXT"
+
 SYSTEM_FOLDERS = frozenset({
     CODE, CODE_KIND, SIGNATURE, PRINCIPAL, AGENT_NAME, WRAPPERS,
+    TRACE_CONTEXT,
 })

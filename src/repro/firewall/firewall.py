@@ -62,6 +62,7 @@ from repro.firewall.message import (
 )
 from repro.firewall.msgqueue import PendingQueue
 from repro.firewall.policy import Policy, open_policy
+from repro.obs import propagation
 from repro.firewall.routing import Registration, Registry
 from repro.sim.eventloop import Kernel
 from repro.sim.host import SimHost
@@ -76,6 +77,10 @@ EVENT_LOG_LIMIT = 10_000
 
 #: Retained quarantine records for poison (undecodable) wire messages.
 QUARANTINE_LIMIT = 100
+
+#: Bucket bounds (bytes) for the admission-decision size histogram.
+ADMISSION_BYTE_BUCKETS = (
+    256, 1024, 4096, 16384, 65536, 262144, 1048576)
 
 
 class FirewallDirectory:
@@ -163,6 +168,38 @@ class Firewall:
             telemetry.metrics.inc(name, amount, host=self.host.name,
                                   **labels)
 
+    def _flight(self, kind: str, **detail) -> None:
+        """Append one event to this host's flight-recorder ring."""
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.flight.record(self.host.name, kind, **detail)
+
+    def _admission(self, decision: str, wire_bytes: int,
+                   message: Message) -> None:
+        """Record one admission decision: the SLO histogram, the flight
+        recorder, and (for rejections) a trace-linked instant so the
+        rejection shows up in the sender's causal tree."""
+        telemetry = self.kernel.telemetry
+        if not telemetry.enabled:
+            return
+        telemetry.metrics.histogram(
+            "fw.admission_bytes",
+            buckets=ADMISSION_BYTE_BUCKETS).observe(
+                wire_bytes, host=self.host.name, decision=decision)
+        if decision == "admitted":
+            self._flight("admitted", target=str(message.target),
+                         principal=message.sender.principal,
+                         wire_bytes=wire_bytes)
+        else:
+            telemetry.tracer.instant(
+                "fw.admission_rejected", category="fw",
+                track=f"fw:{self.host.name}", reason=decision,
+                **propagation.link_args(message.trace))
+            self._flight("admission-rejected", reason=decision,
+                         target=str(message.target),
+                         principal=message.sender.principal,
+                         wire_bytes=wire_bytes)
+
     def log(self, text: str) -> None:
         if len(self.events) < EVENT_LOG_LIMIT:
             self.events.append((self.kernel.now, text))
@@ -248,6 +285,8 @@ class Firewall:
         if message.hops >= MAX_HOPS:
             self.stats.rejected += 1
             self._count("fw.rejected", reason="looping")
+            self._flight("rejected", reason="looping",
+                         target=str(message.target))
             self.log(f"dropped looping message for {message.target} "
                      f"(hops={message.hops})")
             return False
@@ -255,6 +294,8 @@ class Firewall:
         if peer is None:
             self.stats.rejected += 1
             self._count("fw.rejected", reason="no-route")
+            self._flight("rejected", reason="no-route",
+                         target=str(message.target))
             self.log(f"no route to host {message.target.host!r}")
             raise AgentNotFoundError(
                 f"unknown host {message.target.host!r}")
@@ -265,6 +306,9 @@ class Firewall:
         except BriefcaseTooLargeError:
             self.stats.rejected += 1
             self._count("fw.rejected", reason="oversized")
+            self._flight("rejected", reason="oversized",
+                         target=str(message.target),
+                         wire_bytes=wire_bytes)
             self.log(f"rejected oversized message for {message.target} "
                      f"({wire_bytes} wire bytes)")
             raise
@@ -274,11 +318,15 @@ class Firewall:
         except CircuitOpenError:
             self.stats.rejected += 1
             self._count("fw.rejected", reason="circuit-open")
+            self._flight("rejected", reason="circuit-open",
+                         dst=peer.host.name)
             self.log(f"circuit to {peer.host.name} is open; fast-failed")
             raise
         except NetworkError:
             self.stats.rejected += 1
             self._count("fw.rejected", reason="link-down")
+            self._flight("rejected", reason="link-down",
+                         dst=peer.host.name)
             self.log(f"transfer to {peer.host.name} failed")
             raise
         self.stats.forwarded_remote += 1
@@ -313,9 +361,15 @@ class Firewall:
         except CodecError as exc:
             self._quarantine_poison(len(data), sender, exc)
             return False
+        # The reserved TRACE-CONTEXT folder exists only on the raw wire:
+        # strip it here (whether or not telemetry is on) so resident
+        # briefcases never carry telemetry state across the next hop.
+        trace = propagation.extract(briefcase)
+        if not self.kernel.telemetry.enabled:
+            trace = None
         return self.receive_remote(Message(
             target=target, briefcase=briefcase, sender=sender,
-            queue_timeout=queue_timeout, priority=priority))
+            queue_timeout=queue_timeout, priority=priority, trace=trace))
 
     def _quarantine_poison(self, nbytes: int, sender: SenderInfo,
                            exc: CodecError) -> None:
@@ -330,6 +384,14 @@ class Firewall:
         })
         if len(self.quarantine) > QUARANTINE_LIMIT:
             self.quarantine.pop(0)
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.flight.record(
+                self.host.name, "poison", sender=sender.principal,
+                from_host=sender.host, bytes=nbytes,
+                error=type(exc).__name__)
+            telemetry.flight.dump(self.host.name,
+                                  reason="poison-quarantine")
         self.log(f"quarantined poison message from "
                  f"{sender.principal!r}@{sender.host}: {exc}")
 
@@ -365,7 +427,7 @@ class Firewall:
                     uri=message.sender.uri,
                     authenticated=False),
                 queue_timeout=message.queue_timeout, hops=message.hops,
-                priority=message.priority)
+                priority=message.priority, trace=message.trace)
         signature = Signature.from_text(signature_text)
         principal = self.trust_store.verify(
             signature, code_signing_bytes(briefcase))
@@ -375,7 +437,7 @@ class Firewall:
                 principal=principal, host=message.sender.host,
                 uri=message.sender.uri, authenticated=True),
             queue_timeout=message.queue_timeout, hops=message.hops,
-            priority=message.priority)
+            priority=message.priority, trace=message.trace)
 
     def _dispatch_local(self, message: Message,
                         retransmits: int = 0,
@@ -398,13 +460,16 @@ class Firewall:
                     pending=self.pending)
             except QuotaExceededError as exc:
                 self.stats.rejected += 1
+                self._admission("quota", wire_bytes, message)
                 self.log(f"governor rejected "
                          f"{message.sender.principal!r}: {exc}")
                 raise
             except BriefcaseTooLargeError:
                 self.stats.rejected += 1
                 self._count("fw.rejected", reason="oversized")
+                self._admission("oversized", wire_bytes, message)
                 raise
+            self._admission("admitted", wire_bytes, message)
         try:
             registration = self.registry.resolve_one(
                 target, message.sender.principal)
@@ -417,6 +482,7 @@ class Firewall:
                 except QueueFullError:
                     self.stats.rejected += 1
                     self._count("fw.rejected", reason="queue-full")
+                    self._admission("queue-full", wire_bytes, message)
                     self.log(f"queue full; rejected message for {target}")
                     raise
                 self.stats.queued += 1
@@ -430,6 +496,9 @@ class Firewall:
         if not self.policy.can_send(message.sender, registration):
             self.stats.rejected += 1
             self._count("fw.policy_rejected")
+            self._flight("rejected", reason="policy",
+                         principal=message.sender.principal,
+                         target=str(registration.agent_id))
             self.log(f"policy rejected {message.sender.principal} -> "
                      f"{registration.agent_id}")
             raise AccessDeniedError(
@@ -468,6 +537,8 @@ class Firewall:
             killed += 1
         records = self.pending.crash_flush()
         self._count("fw.crashes")
+        self._flight("crash", reason=reason, killed=killed,
+                     dead_lettered=len(records))
         self.log(f"crashed: {killed} registrations destroyed, "
                  f"{len(records)} parked messages dead-lettered")
         return killed
@@ -481,8 +552,19 @@ class Firewall:
         bounce through crashes forever).
         """
         redelivered = 0
+        telemetry = self.kernel.telemetry
         for record in self.pending.take_retransmittable(max_retransmits):
             self._count("fw.retransmits", reason=record.reason)
+            if telemetry.enabled:
+                # The parked envelope kept its causal context through the
+                # crash; the retransmit instant links into that trace.
+                telemetry.tracer.instant(
+                    "fw.retransmit", category="fw",
+                    track=f"fw:{self.host.name}", reason=record.reason,
+                    target=str(record.message.target),
+                    **propagation.link_args(record.message.trace))
+            self._flight("retransmit", reason=record.reason,
+                         target=str(record.message.target))
             self.log(f"retransmitting dead letter for "
                      f"{record.message.target} (reason={record.reason})")
             try:

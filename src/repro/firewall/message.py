@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.core.briefcase import Briefcase
 from repro.core.uri import AgentUri
+from repro.obs.propagation import TraceContext
 
 #: Bytes of envelope/framing added to the encoded briefcase on the wire.
 ENVELOPE_OVERHEAD_BYTES = 128
@@ -53,6 +54,9 @@ class Message:
     #: bounded queue evicts lower-priority parked messages to make room
     #: for a higher-priority arrival.  Higher is more important.
     priority: int = 0
+    #: Causal trace context (envelope metadata, like ``hops`` — zero
+    #: wire bytes in-sim).  None whenever telemetry is disabled.
+    trace: Optional[TraceContext] = None
 
     def with_target(self, target: AgentUri) -> "Message":
         return replace(self, target=target)
@@ -64,7 +68,8 @@ class Message:
                        sender=self.sender,
                        queue_timeout=self.queue_timeout,
                        hops=self.hops + 1,
-                       priority=self.priority)
+                       priority=self.priority,
+                       trace=self.trace)
 
 
 @dataclass

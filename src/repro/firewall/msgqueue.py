@@ -55,6 +55,7 @@ from repro.firewall.governor import (
     OVERFLOW_SHED_PRIORITY,
 )
 from repro.firewall.message import Message
+from repro.obs.propagation import link_args
 from repro.sim.eventloop import Kernel
 
 #: Retained dead-letter records per queue (kept as the historical name;
@@ -245,7 +246,7 @@ class PendingQueue:
             retransmits=retransmits)
         entry.span = self.kernel.telemetry.tracer.begin(
             "fw.queue_wait", category="fw", track=f"fw:{self.host}",
-            target=str(message.target))
+            target=str(message.target), **link_args(message.trace))
         self._pending.append(entry)
         self._bytes += wire_bytes
         self._update_watermarks()

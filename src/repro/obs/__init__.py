@@ -1,11 +1,20 @@
 """repro.obs — system-wide telemetry for the TAX runtime.
 
-Three pieces, all zero-dependency and deterministic:
+Seven pieces, all zero-dependency and deterministic:
 
 - :mod:`repro.obs.metrics` — the metrics registry (counters, gauges,
-  histograms with labels);
+  histograms with labels) plus quantile/summary math;
 - :mod:`repro.obs.tracing` — the span tracer (virtual-time intervals,
-  JSONL and Chrome ``trace_event`` export);
+  JSONL and Chrome ``trace_event`` export with causal flow arrows);
+- :mod:`repro.obs.propagation` — the causal trace context that rides
+  message envelopes across hops (and the reserved ``TRACE-CONTEXT``
+  briefcase folder it travels in on the raw wire);
+- :mod:`repro.obs.flightrec` — the per-host flight recorder: a bounded
+  ring of recent events frozen into a dump on crash or quarantine;
+- :mod:`repro.obs.report` — per-trace itinerary + SLO report documents
+  (canonical JSON, self-contained HTML);
+- :mod:`repro.obs.openmetrics` — OpenMetrics text rendering of a
+  registry snapshot;
 - :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the kernel
   owns and every layer reaches as ``kernel.telemetry``.
 
@@ -22,15 +31,33 @@ from repro.obs.metrics import (  # noqa: F401
     Histogram,
     MetricError,
     MetricsRegistry,
+    estimate_quantile,
+    summarize_sample,
 )
 from repro.obs.tracing import (  # noqa: F401
     NULL_SPAN,
     Span,
     Tracer,
 )
+from repro.obs.propagation import (  # noqa: F401
+    TraceContext,
+    TraceIdAllocator,
+)
+from repro.obs.flightrec import FlightRecorder  # noqa: F401
+from repro.obs.report import (  # noqa: F401
+    build_report,
+    render_report_html,
+    render_report_json,
+)
+from repro.obs.openmetrics import render_openmetrics  # noqa: F401
 from repro.obs.telemetry import Telemetry  # noqa: F401
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricError", "MetricsRegistry",
-    "DEFAULT_BUCKETS", "Span", "Tracer", "NULL_SPAN", "Telemetry",
+    "DEFAULT_BUCKETS", "estimate_quantile", "summarize_sample",
+    "Span", "Tracer", "NULL_SPAN",
+    "TraceContext", "TraceIdAllocator", "FlightRecorder",
+    "build_report", "render_report_html", "render_report_json",
+    "render_openmetrics",
+    "Telemetry",
 ]

@@ -41,6 +41,61 @@ class MetricError(ValueError):
     """A metric was redeclared with a conflicting kind."""
 
 
+def estimate_quantile(sample: dict, q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile of a histogram *sample* dict (the
+    ``{"count", "sum", "min", "max", "buckets"}`` shape produced by
+    :meth:`Histogram._sample_value`).
+
+    Classic bucket-walk with linear interpolation inside the target
+    bucket, clamped to the observed ``[min, max]`` so tiny populations
+    do not extrapolate past real data.  Returns None for an empty
+    sample.  Deterministic: pure arithmetic over the sample.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = sample.get("count", 0)
+    if not count:
+        return None
+    bounds: List[Tuple[float, int]] = [
+        (float(key), n) for key, n in sample["buckets"].items()
+        if key != "+inf"]
+    bounds.sort()
+    rank = q * count
+    lower = 0.0
+    cumulative = 0
+    minimum = sample.get("min")
+    maximum = sample.get("max")
+    for bound, n in bounds:
+        if cumulative + n >= rank and n > 0:
+            fraction = (rank - cumulative) / n
+            estimate = lower + (bound - lower) * fraction
+            break
+        cumulative += n
+        lower = bound
+    else:
+        # Target rank lands in the +inf bucket: the best deterministic
+        # point estimate is the observed maximum.
+        estimate = maximum if maximum is not None else lower
+    if minimum is not None:
+        estimate = max(estimate, minimum)
+    if maximum is not None:
+        estimate = min(estimate, maximum)
+    return estimate
+
+
+def summarize_sample(sample: dict) -> dict:
+    """p50/p95/p99 + count/sum/min/max summary of a histogram sample."""
+    return {
+        "count": sample.get("count", 0),
+        "sum": sample.get("sum", 0.0),
+        "min": sample.get("min"),
+        "max": sample.get("max"),
+        "p50": estimate_quantile(sample, 0.50),
+        "p95": estimate_quantile(sample, 0.95),
+        "p99": estimate_quantile(sample, 0.99),
+    }
+
+
 class Metric:
     """One named family of series, distinguished by label sets."""
 

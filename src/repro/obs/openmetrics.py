@@ -1,0 +1,100 @@
+"""OpenMetrics text rendering of a :class:`MetricsRegistry` snapshot.
+
+``repro metrics`` ends here: the registry's JSON-able snapshot becomes
+the OpenMetrics text format (the Prometheus exposition format plus the
+``# EOF`` terminator), so the simulator's numbers can be diffed in CI
+and pasted into any Prometheus-compatible tooling.
+
+Mapping rules:
+
+- family names translate dots/dashes to underscores
+  (``fw.queue_wait_seconds`` → ``fw_queue_wait_seconds``);
+- counters gain the conventional ``_total`` suffix;
+- histograms expand to cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count`` (the registry stores *per-bucket* counts, so
+  this module does the cumulation);
+- output is sorted at every level — families by name, series by label
+  key — making the text a deterministic pure function of the snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def metric_name(name: str) -> str:
+    """An OpenMetrics-legal name for a ``subsystem.metric`` family."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _escape(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"'
+                    for key, value in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def _number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, sample: dict) -> List[str]:
+    lines: List[str] = []
+    value = sample["value"]
+    labels = sample["labels"]
+    cumulative = 0
+    # The snapshot's bucket counts are per-bucket; OpenMetrics wants
+    # cumulative counts in ascending bound order with +inf last.
+    bounds = sorted((key for key in value["buckets"] if key != "+inf"),
+                    key=float)
+    for bound in bounds:
+        cumulative += value["buckets"][bound]
+        lines.append(f"{name}_bucket{_labels(labels, {'le': bound})} "
+                     f"{_number(cumulative)}")
+    cumulative += value["buckets"].get("+inf", 0)
+    lines.append(f"{name}_bucket{_labels(labels, {'le': '+Inf'})} "
+                 f"{_number(cumulative)}")
+    lines.append(f"{name}_sum{_labels(labels)} {_number(value['sum'])}")
+    lines.append(f"{name}_count{_labels(labels)} "
+                 f"{_number(value['count'])}")
+    return lines
+
+
+def render_openmetrics(snapshot: Dict[str, dict]) -> str:
+    """The OpenMetrics text body for one registry snapshot."""
+    lines: List[str] = []
+    for family_name in sorted(snapshot):
+        family = snapshot[family_name]
+        kind = family["kind"]
+        name = metric_name(family_name)
+        lines.append(f"# TYPE {name} {kind}")
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape(family['help'])}")
+        for sample in family["samples"]:
+            if kind == "histogram":
+                lines.extend(_histogram_lines(name, sample))
+            elif kind == "counter":
+                lines.append(f"{name}_total{_labels(sample['labels'])} "
+                             f"{_number(sample['value'])}")
+            else:
+                lines.append(f"{name}{_labels(sample['labels'])} "
+                             f"{_number(sample['value'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

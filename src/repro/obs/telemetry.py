@@ -14,12 +14,15 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.propagation import TraceContext, TraceIdAllocator
 from repro.obs.tracing import Tracer
 
 
 class Telemetry:
-    """Metrics registry + span tracer behind one switch."""
+    """Metrics registry + span tracer + flight recorder behind one
+    switch, plus the deterministic trace-id mint."""
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
                  enabled: bool = False,
@@ -31,6 +34,8 @@ class Telemetry:
         else:
             self.tracer = Tracer(clock, enabled=enabled,
                                  max_spans=max_spans)
+        self.flight = FlightRecorder(enabled=enabled, clock=clock)
+        self.ids = TraceIdAllocator()
 
     # -- switching -----------------------------------------------------------
 
@@ -38,17 +43,41 @@ class Telemetry:
         self.enabled = True
         self.metrics.enabled = True
         self.tracer.enabled = True
+        self.flight.enabled = True
         return self
 
     def disable(self) -> "Telemetry":
         self.enabled = False
         self.metrics.enabled = False
         self.tracer.enabled = False
+        self.flight.enabled = False
         return self
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Point the tracer at a virtual clock (done by the kernel)."""
         self.tracer.clock = clock
+        self.flight.clock = clock
+
+    # -- causal trace contexts ----------------------------------------------
+
+    def new_trace(self) -> Optional[TraceContext]:
+        """Root a fresh itinerary trace (None when disabled — callers
+        thread the None through, keeping the no-op path allocation-free).
+        """
+        if not self.enabled:
+            return None
+        return self.ids.root()
+
+    def child_context(self, parent: Optional[TraceContext],
+                      advance_hop: bool = False
+                      ) -> Optional[TraceContext]:
+        """A child causal node of ``parent`` (root when parent is None).
+        ``advance_hop`` marks a host boundary (go/spawn/launch)."""
+        if not self.enabled:
+            return None
+        if parent is None:
+            return self.ids.root()
+        return self.ids.child(parent, advance_hop=advance_hop)
 
     # -- cost-ledger flushing ------------------------------------------------
 
@@ -117,6 +146,8 @@ class Telemetry:
     def reset(self) -> None:
         self.metrics.reset()
         self.tracer.reset()
+        self.flight.reset()
+        self.ids.reset()
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"

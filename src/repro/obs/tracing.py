@@ -238,10 +238,51 @@ class Tracer:
                 "name": inst["name"], "cat": inst["cat"] or "instant",
                 "ph": "i", "s": "t", "pid": 1, "tid": tids[inst["track"]],
                 "ts": inst["t"] * _US, "args": inst["args"]})
+        events.extend(self._flow_events(tids))
         return {"traceEvents": events, "displayTimeUnit": "ms",
                 "otherData": {"clock": "virtual-seconds",
                               "dropped_spans": self.dropped,
                               "open_spans": self.open_count}}
+
+    def _flow_events(self, tids: Dict[str, int]) -> List[dict]:
+        """Perfetto flow (``s``/``f``) arrows between causally linked
+        spans on *different* tracks.
+
+        Spans stamped by the propagation layer carry ``span_id`` /
+        ``parent_span_id`` args; each cross-track parent→child edge
+        becomes one flow: the start (``s``) anchors inside the parent
+        slice, the finish (``f``, ``bp:"e"``) binds to the child's
+        enclosing slice at its start.  Enumeration follows the already
+        deterministic span sort, so exports stay byte-identical across
+        runs.
+        """
+        by_id: Dict[str, Span] = {}
+        ordered = self._sorted_spans()
+        for span in ordered:
+            span_id = span.args.get("span_id")
+            if isinstance(span_id, str) and span_id not in by_id:
+                by_id[span_id] = span
+        flows: List[dict] = []
+        flow_id = 0
+        for child in ordered:
+            parent_id = child.args.get("parent_span_id")
+            parent = by_id.get(parent_id) if parent_id else None
+            if parent is None or parent is child or \
+                    parent.track == child.track:
+                continue
+            flow_id += 1
+            anchor = min(max(child.start, parent.start),
+                         parent.end_time if parent.finished
+                         else child.start)
+            flows.append({
+                "name": "trace", "cat": "flow", "ph": "s", "id": flow_id,
+                "pid": 1, "tid": tids[parent.track],
+                "ts": anchor * _US})
+            flows.append({
+                "name": "trace", "cat": "flow", "ph": "f", "bp": "e",
+                "id": flow_id, "pid": 1, "tid": tids[child.track],
+                "ts": child.start * _US})
+        return flows
 
     def export_chrome(self, path: str) -> int:
         """Write the Chrome trace document; returns the event count."""

@@ -181,21 +181,24 @@ class FaultInjector:
         self.dropped = 0
         self.corrupted = 0
 
-    def _count(self, kind: str) -> None:
+    def _count(self, kind: str, src: str = "", dst: str = "") -> None:
         if self.telemetry is not None and self.telemetry.enabled:
             self.telemetry.metrics.inc("faults.injected", kind=kind)
+            if src:
+                self.telemetry.flight.record(src, "fault",
+                                             kind=kind, dst=dst)
 
     def verdict(self, src: str, dst: str, nbytes: int) -> Optional[str]:
         self.rolls += 1
         if self.plan.drop_probability and \
                 self.rng.chance(self.plan.drop_probability):
             self.dropped += 1
-            self._count("drop")
+            self._count("drop", src, dst)
             return "drop"
         if self.plan.corrupt_probability and \
                 self.rng.chance(self.plan.corrupt_probability):
             self.corrupted += 1
-            self._count("corrupt")
+            self._count("corrupt", src, dst)
             return "corrupt"
         return None
 

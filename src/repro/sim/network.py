@@ -277,6 +277,10 @@ class Network:
                     telemetry.metrics.inc("net.breaker_transitions",
                                           src=_src, dst=_dst,
                                           old=old, new=new)
+                    # Breaker flips are exactly the kind of "what just
+                    # happened here" context a post-mortem needs.
+                    telemetry.flight.record(_src, "breaker",
+                                            dst=_dst, old=old, new=new)
             breaker = self._breakers[key] = CircuitBreaker(
                 self.breaker_config, on_transition=note)
         return breaker

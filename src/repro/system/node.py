@@ -121,6 +121,10 @@ class TaxNode:
         if telemetry.enabled:
             telemetry.metrics.inc("host.crashes", host=self.host.name)
         killed = self.firewall.crash(reason)
+        if telemetry.enabled:
+            # The black box: freeze this host's recent-event ring into a
+            # post-mortem dump the chaos/overload documents can embed.
+            telemetry.flight.dump(self.host.name, reason=reason)
         self.firewall.log(f"host {self.host.name} crashed ({reason})")
         return killed
 
@@ -144,6 +148,10 @@ class TaxNode:
         for service in self.services.values():
             service.boot()
         retransmitted = self.firewall.retransmit_dead_letters()
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.flight.record(self.host.name, "restart",
+                                    retransmitted=retransmitted)
         self.firewall.log(
             f"host {self.host.name} restarted "
             f"({retransmitted} dead letters retransmitted)")

@@ -35,6 +35,7 @@ from repro.core import wellknown
 from repro.agent.context import AgentContext
 from repro.agent.mailbox import Mailbox
 from repro.firewall.message import Message
+from repro.obs.propagation import link_args, span_args
 from repro.sim.errors import Interrupt, StopProcess
 from repro.vm import loader
 from repro.vm.sandbox import Sandbox
@@ -102,7 +103,8 @@ class VirtualMachine:
         host_name = self.node.host.name
         span = telemetry.tracer.begin(
             "vm.launch", category="vm", track=f"vm:{host_name}",
-            vm=self.name, sender=message.sender.principal)
+            vm=self.name, sender=message.sender.principal,
+            **link_args(message.trace))
         try:
             if not self.firewall.policy.can_launch(message.sender, self.name):
                 raise VMError(
@@ -195,11 +197,16 @@ class VirtualMachine:
         if telemetry.enabled:
             telemetry.metrics.inc("vm.activations",
                                   host=self.node.host.name, vm=self.name)
+            # A new residency: descend from the transport message's
+            # causal node (hop count advances across the host boundary),
+            # or root a fresh itinerary for untraced launches.
+            ctx.trace = telemetry.child_context(message.trace,
+                                                advance_hop=True)
         ctx.run_span = telemetry.tracer.begin(
             f"run:{name}", category="agent",
             track=f"host:{self.node.host.name}",
             agent=name, instance=registration.instance,
-            vm=self.name, principal=principal)
+            vm=self.name, principal=principal, **span_args(ctx.trace))
         wrappers.on_attach(ctx)
         wrappers.on_arrive(ctx)
         self.launched += 1

@@ -32,7 +32,8 @@ def rule_lines(findings, rule):
 def test_rule_pack_registered():
     ids = all_rule_ids()
     assert ids == ("DET001", "DET002", "DET003", "DET004", "DET005",
-                   "DET006", "ERR001", "KER001", "MUT001", "MUT002")
+                   "DET006", "ERR001", "KER001", "MUT001", "MUT002",
+                   "OBS001")
     assert len(RULES) == len(ids)
 
 
@@ -112,6 +113,23 @@ def test_mut002_missing_slots():
     findings = lint_file(CASES, "mut002_slots.py")
     assert rule_lines(findings, "MUT002") == [7, 13]
     assert all(f.rule == "MUT002" for f in findings)
+
+
+def test_obs001_telemetry_facade():
+    findings = lint_file(CASES, "obs001_facade.py")
+    assert rule_lines(findings, "OBS001") == [8, 9, 10]
+    assert all(f.rule == "OBS001" for f in findings)
+
+
+def test_obs001_facade_module_exempt():
+    source = ("from repro.obs.tracing import Tracer\n"
+              "tracer = Tracer(enabled=True)\n")
+    analyzer = Analyzer()
+    assert analyzer.analyze_source(
+        source, module="repro.obs.telemetry") == []
+    outside = analyzer.analyze_source(
+        source, module="repro.wrappers.monitor")
+    assert [f.rule for f in outside] == ["OBS001"]
 
 
 def test_file_wide_suppression():
