@@ -27,6 +27,7 @@ from repro.core.errors import (
 from repro.core.uri import AgentUri
 from repro.core import wellknown
 from repro.agent.mailbox import Mailbox
+from repro.firewall.auth import sign_request
 from repro.firewall.message import DEFAULT_QUEUE_TIMEOUT, Message, SenderInfo
 from repro.obs.propagation import link_args, span_args
 from repro.sim.errors import StopProcess
@@ -81,10 +82,23 @@ class AgentContext:
         #: its retries) so every transport attempt of one hop shares the
         #: hop's causal node.
         self._outbound_trace = None
+        #: Landing id outbound messages should carry — set for the
+        #: duration of a go/spawn meet (and its retries) so every
+        #: transport attempt of one hop presents the same landing id to
+        #: the destination's :class:`~repro.firewall.dedup.LandingRegistry`.
+        self._outbound_landing = None
+        #: Per-context landing-id counter (envelope metadata only, so —
+        #: unlike meet tokens — uniqueness per (host, instance) is all
+        #: that matters).
+        self._landing_counter = itertools.count(1)
         #: Transport retry configuration (None: fail on first error,
         #: the pre-resilience behaviour).  See :meth:`configure_retry`.
         self.retry_policy = None
         self.retry_rng = None
+        #: Keychain for sender authentication of outbound codeless
+        #: requests (None: sends stay unsigned and arrive remotely as
+        #: unauthenticated).  See :meth:`configure_signing`.
+        self.keychain = None
         #: Per-context meet-token counter.  Deliberately *not* shared
         #: process-wide: token strings ride in briefcases, so a global
         #: counter would make wire sizes (and thus virtual timings)
@@ -113,7 +127,16 @@ class AgentContext:
         self.retry_policy = policy
         self.retry_rng = rng
 
-    # -- wiring (done by the VM at launch) -----------------------------------------
+    def configure_signing(self, keychain) -> None:
+        """Sign outbound codeless requests with this context's principal.
+
+        Remote firewalls authenticate arrivals by signature; without one
+        the claimed principal stays unauthenticated and admin-gated ops
+        (``kill``, ``tombstone``) are refused.  Rear guards and
+        migration origins — anything running a cross-host control plane
+        — need this; plain data traffic does not.
+        """
+        self.keychain = keychain
 
     def attach(self, registration, mailbox: Mailbox) -> None:
         self.registration = registration
@@ -222,6 +245,8 @@ class AgentContext:
             yield self.kernel.timeout(0)
             return False
         target, briefcase = filtered
+        if self.keychain is not None:
+            sign_request(briefcase, self.keychain, self.principal)
         self._sanitize(briefcase, "send")
         self._sanitize(self.briefcase, "send-self")
         telemetry = self.kernel.telemetry
@@ -235,7 +260,8 @@ class AgentContext:
         message = Message(target=target, briefcase=briefcase.snapshot(),
                           sender=self._sender_info(),
                           queue_timeout=queue_timeout,
-                          priority=priority, trace=trace)
+                          priority=priority, trace=trace,
+                          landing_id=self._outbound_landing)
         retries = 0
         while True:
             try:
@@ -382,6 +408,39 @@ class AgentContext:
         transport.put(wellknown.PRINCIPAL, self.principal)
         return transport
 
+    def _new_landing_id(self) -> str:
+        """Mint a landing id for one migration.
+
+        The ``host:instance:`` prefix doubles as a capability: the
+        destination's firewall lets the *minting host* tombstone the id
+        without full admin rights (see ``FirewallAdmin.op_tombstone``).
+        """
+        return f"{self.host_name}:{self.instance}:" \
+               f"{next(self._landing_counter)}"
+
+    def _abort_landing(self, target: AgentUri, landing_id: str,
+                       op: str) -> None:
+        """Best-effort: tombstone an ambiguous landing at the destination.
+
+        A go/spawn meet that *failed* may still have launched the agent —
+        the ack, not the launch, may be what the partition ate.  The
+        origin cannot tell, so it posts a tombstone to the destination
+        firewall: if the landing ran, the twin is killed; if the
+        transport never arrives, the id is poisoned against late
+        duplicates.  Fire-and-forget — an unreachable destination just
+        logs the failure.
+        """
+        if target.host is None or target.host == self.host_name:
+            return
+        telemetry = self.kernel.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("agent.landing_aborts", op=op)
+        request = Briefcase()
+        request.put(wellknown.OP, "tombstone")
+        request.put(wellknown.ARGS, {"landing_id": landing_id,
+                                     "reason": f"{op}-abandoned"})
+        self.post(AgentUri(host=target.host, name="firewall"), request)
+
     def go(self, vm_target: Target, timeout: float = DEFAULT_MEET_TIMEOUT):
         """Move this agent to the VM at ``vm_target``.
 
@@ -403,16 +462,22 @@ class AgentContext:
             agent=self.name, src=self.host_name, dst=str(target),
             dst_host=target.host, **span_args(hop_trace))
         self.wrappers.on_depart(self, target)
+        landing = self._new_landing_id()
         self._outbound_trace = hop_trace
+        self._outbound_landing = landing
         try:
             reply = yield from self.meet(target, transport, timeout=timeout)
         except (TaxError, NetworkError) as exc:
             span.end(outcome="failed", error=str(exc))
             if telemetry.enabled:
                 telemetry.metrics.inc("agent.migration_failures", op="go")
+            # The transport may have landed with only the ack lost:
+            # poison the landing so no twin survives, then stay here.
+            self._abort_landing(target, landing, "go")
             raise MigrationError(f"go({target}) failed: {exc}") from exc
         finally:
             self._outbound_trace = None
+            self._outbound_landing = None
         status = reply.get_text(wellknown.STATUS, "error")
         if status != "ok":
             error = reply.get_text(wellknown.ERROR, "launch failed")
@@ -455,7 +520,9 @@ class AgentContext:
             "spawn", category="agent", track=f"agent:{self.name}",
             agent=self.name, src=self.host_name, dst=str(target),
             dst_host=target.host, **span_args(hop_trace))
+        landing = self._new_landing_id()
         self._outbound_trace = hop_trace
+        self._outbound_landing = landing
         try:
             reply = yield from self.meet(target, transport, timeout=timeout)
         except (TaxError, NetworkError) as exc:
@@ -463,9 +530,11 @@ class AgentContext:
             if telemetry.enabled:
                 telemetry.metrics.inc("agent.migration_failures",
                                       op="spawn")
+            self._abort_landing(target, landing, "spawn")
             raise MigrationError(f"spawn({target}) failed: {exc}") from exc
         finally:
             self._outbound_trace = None
+            self._outbound_landing = None
         status = reply.get_text(wellknown.STATUS, "error")
         if status != "ok":
             error = reply.get_text(wellknown.ERROR, "launch failed")

@@ -22,8 +22,12 @@ from repro.sim.faults import (
     FaultInjector,
     FaultPlan,
     KIND_CRASH,
+    KIND_HEAL,
     KIND_LINK_DOWN,
+    KIND_LINK_DOWN_ONEWAY,
     KIND_LINK_UP,
+    KIND_LINK_UP_ONEWAY,
+    KIND_PARTITION,
     KIND_RESTART,
 )
 
@@ -73,6 +77,14 @@ class ChaosEngine:
             network.set_link_up(event.link[0], event.link[1], False)
         elif event.kind == KIND_LINK_UP:
             network.set_link_up(event.link[0], event.link[1], True)
+        elif event.kind == KIND_LINK_DOWN_ONEWAY:
+            network.set_link_up_oneway(event.link[0], event.link[1], False)
+        elif event.kind == KIND_LINK_UP_ONEWAY:
+            network.set_link_up_oneway(event.link[0], event.link[1], True)
+        elif event.kind == KIND_PARTITION:
+            record["links_down"] = network.partition(event.groups)
+        elif event.kind == KIND_HEAL:
+            record["links_healed"] = network.heal()
         elif event.kind == KIND_CRASH:
             record["killed"] = self.cluster.node(event.host).crash()
         elif event.kind == KIND_RESTART:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 from repro.core.briefcase import Briefcase
 from repro.core.errors import TaxError
 from repro.core.uri import AgentUri
+from repro.core import wellknown
 from repro.agent.context import AgentContext
 from repro.agent.mailbox import Mailbox
 from repro.sim.network import NetworkError
@@ -42,7 +43,8 @@ class RearGuard:
                  heartbeat_timeout: float = 2.0,
                  poll_interval: float = 0.5,
                  max_relaunches: int = 3,
-                 name: str = "rear_guard"):
+                 name: str = "rear_guard",
+                 expected_incarnation: Optional[int] = None):
         self.node = node
         self.cabinet = cabinet
         self.drawer = drawer
@@ -58,6 +60,19 @@ class RearGuard:
         self.finished = False
         self.relaunches: List[Dict] = []
         self.failures: List[Dict] = []
+        #: Incarnation the live agent should be reporting (None: the
+        #: agent carries no INCARNATION folder — twin detection off).
+        #: Each successful recovery bumps it, in lockstep with the +1
+        #: that :func:`repro.wrappers.fault.recover` stamps into the
+        #: relaunched checkpoint.
+        self.expected_incarnation = expected_incarnation
+        #: Orphan twins detected (reports with a stale incarnation).
+        self.twins: List[Dict] = []
+        self._twin_kills_sent: set = set()
+        #: Kill requests spawned but not yet resolved — scenarios drain
+        #: this before tearing the cluster down, so a report that beats
+        #: the kill home doesn't leave the orphan alive.
+        self.twin_kills_pending = 0
         self._stopped = False
 
         mailbox = Mailbox(node.kernel)
@@ -83,10 +98,74 @@ class RearGuard:
     def _on_event(self, event: dict) -> None:
         if self.tag is not None and event.get("tag") != self.tag:
             return
+        if self._is_twin(event):
+            # An orphaned earlier incarnation is still alive somewhere
+            # (its host healed after we recovered).  Its reports must
+            # not count as life signs — and the twin must die.
+            self._on_twin(event)
+            return
         self.last_seen = self.node.kernel.now
         self.last_host = event.get("host")
         if event.get("event") == "finished":
             self.finished = True
+
+    def _is_twin(self, event: dict) -> bool:
+        if self.expected_incarnation is None:
+            return False
+        reported = event.get("incarnation")
+        if reported is None:
+            return False
+        try:
+            return int(reported) != self.expected_incarnation
+        except (TypeError, ValueError):
+            return False
+
+    def _on_twin(self, event: dict) -> None:
+        agent = event.get("agent") or ""
+        host = event.get("host")
+        kernel = self.node.kernel
+        if agent in self._twin_kills_sent:
+            return
+        self._twin_kills_sent.add(agent)
+        self.twins.append({"at": kernel.now, "agent": agent,
+                           "host": host,
+                           "incarnation": event.get("incarnation"),
+                           "expected": self.expected_incarnation})
+        instance = agent.rsplit(":", 1)[-1] if ":" in agent else None
+        if host is None or instance is None:
+            return
+        self.ctx.log(f"rear guard: orphan twin {agent} on {host} "
+                     f"(incarnation {event.get('incarnation')}, "
+                     f"expected {self.expected_incarnation}), killing")
+        self.twin_kills_pending += 1
+        kernel.spawn(self._kill_twin(agent, host, instance),
+                     name=f"twin-kill:{agent}")
+
+    def _kill_twin(self, agent: str, host: str, instance: str):
+        request = Briefcase()
+        request.put(wellknown.OP, "kill")
+        request.put(wellknown.ARGS, {"instance": instance})
+        try:
+            reply = yield from self.ctx.meet(
+                AgentUri(host=host, name="firewall"), request,
+                timeout=self.heartbeat_timeout * 4)
+        except (TaxError, NetworkError) as exc:
+            # Let the next heartbeat from the twin trigger another try.
+            self._twin_kills_sent.discard(agent)
+            self.ctx.log(f"rear guard: twin kill of {agent} failed: {exc}")
+            return
+        finally:
+            self.twin_kills_pending -= 1
+        results = reply.get_json(wellknown.RESULTS, {})
+        killed = bool(results.get("killed")) \
+            if isinstance(results, dict) else False
+        telemetry = self.node.kernel.telemetry
+        if telemetry.enabled and killed:
+            telemetry.metrics.inc("recovery.twins_killed")
+        if not killed:
+            # Already gone (crashed with its host, or finished): fine —
+            # exactly-once only needs it not to be running.
+            self.ctx.log(f"rear guard: twin {agent} already gone")
 
     # -- introspection ---------------------------------------------------------------
 
@@ -111,6 +190,7 @@ class RearGuard:
             "recovery_failures": list(self.failures),
             "finished": self.finished,
             "last_host": self.last_host,
+            "twins": list(self.twins),
         }
 
     # -- the watch loop ----------------------------------------------------------------
@@ -159,5 +239,9 @@ class RearGuard:
             self.last_seen = kernel.now
             return
         self.relaunches.append({"at": kernel.now, "vm": vm, "uri": uri})
+        if self.expected_incarnation is not None:
+            # recover() bumped the checkpoint's INCARNATION by one;
+            # track it so the old incarnation now reads as a twin.
+            self.expected_incarnation += 1
         # Give the fresh incarnation a full window to start reporting.
         self.last_seen = kernel.now

@@ -70,6 +70,20 @@ def run_survey(args, env):
 
 PLAN_NAMES = ("none", "mid-crash", "crash-restart", "flaky-links")
 
+PLAN_DESCRIPTIONS = {
+    "none":
+        "control run, no faults",
+    "mid-crash":
+        "the second worker crashes mid-itinerary and never returns; "
+        "recovery must skip it and report it unreachable",
+    "crash-restart":
+        "same crash, but the host restarts while the recovered agent "
+        "is still retrying, so the itinerary completes",
+    "flaky-links":
+        "no crashes, but a link flap plus probabilistic message "
+        "drops/corruption that transport retries must absorb",
+}
+
 
 def build_survey_program(keychain, principal: str = CHAOS_PRINCIPAL,
                          archs=("x86-unix",)) -> loader.Payload:

@@ -18,6 +18,13 @@ Commands:
   a pure function of ``(--seed, --plan, --no-recovery)``: running the
   command twice must produce byte-for-byte identical JSON, which CI
   asserts;
+- ``partition`` — run the same survey itinerary under a named
+  exactly-once scenario (partition storms with duplicate/reordered/
+  corrupted deliveries, split brain with twin detection, asymmetric
+  ack loss) and print the delivery-guarantee report as canonical
+  JSON.  Exits non-zero unless the ``exactly_once.holds`` acceptance
+  block is true.  Deterministic like ``chaos``: CI runs the command
+  twice and diffs byte-for-byte;
 - ``overload`` — flood one host from N greedy principals (plus a dead
   host and poison wire buffers) with or without the firewall governor
   and print the shedding/backpressure/breaker report as canonical
@@ -216,15 +223,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.chaos.scenario import render_chaos_json, run_chaos
+def _print_name_table(names, descriptions) -> None:
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"  {name:<{width}}  {descriptions.get(name, '')}")
 
-    document = run_chaos(seed=args.seed, plan=args.plan,
-                         recovery=not args.no_recovery)
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.scenario import (PLAN_DESCRIPTIONS, PLAN_NAMES,
+                                      render_chaos_json, run_chaos)
+
+    if args.list:
+        print("chaos plans:")
+        _print_name_table(PLAN_NAMES, PLAN_DESCRIPTIONS)
+        return 0
+    try:
+        document = run_chaos(seed=args.seed, plan=args.plan,
+                             recovery=not args.no_recovery)
+    except ValueError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        print("(use `repro chaos --list` to see the plans)",
+              file=sys.stderr)
+        return 2
     print(render_chaos_json(document))
     agent = document["agent"]
     survived = agent["sites_visited"] > 0 and not agent["timed_out"]
     return 0 if survived else 1
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.chaos.partition import (SCENARIO_DESCRIPTIONS,
+                                       SCENARIO_NAMES,
+                                       render_partition_json,
+                                       run_partition)
+
+    if args.list:
+        print("partition scenarios:")
+        _print_name_table(SCENARIO_NAMES, SCENARIO_DESCRIPTIONS)
+        return 0
+    try:
+        document = run_partition(seed=args.seed, scenario=args.scenario)
+    except ValueError as exc:
+        print(f"repro partition: {exc}", file=sys.stderr)
+        print("(use `repro partition --list` to see the scenarios)",
+              file=sys.stderr)
+        return 2
+    print(render_partition_json(document))
+    return 0 if document["exactly_once"]["holds"] else 1
 
 
 def _cmd_overload(args: argparse.Namespace) -> int:
@@ -388,15 +433,31 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="BENCH_E1.json",
                        help="write the machine-readable report here")
 
-    from repro.chaos.scenario import PLAN_NAMES
     chaos = sub.add_parser(
         "chaos",
         help="run the survey itinerary under a fault plan; print JSON")
     chaos.add_argument("--seed", type=int, default=7)
-    chaos.add_argument("--plan", choices=PLAN_NAMES, default="mid-crash")
+    chaos.add_argument("--plan", default="mid-crash", metavar="PLAN",
+                       help="fault plan name (see --list); an unknown "
+                            "name exits 2 with the available plans")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the built-in fault plans and exit")
     chaos.add_argument("--no-recovery", action="store_true",
                        help="drop the recovery kit (monitor/checkpoint/"
                             "retry/rear-guard): the baseline behaviour")
+
+    partition = sub.add_parser(
+        "partition",
+        help="run the survey under an exactly-once partition scenario; "
+             "print JSON")
+    partition.add_argument("--seed", type=int, default=7)
+    partition.add_argument("--scenario", default="partition-storm",
+                           metavar="SCENARIO",
+                           help="scenario name (see --list); an unknown "
+                                "name exits 2 with the available "
+                                "scenarios")
+    partition.add_argument("--list", action="store_true",
+                           help="list the built-in scenarios and exit")
 
     overload = sub.add_parser(
         "overload",
@@ -469,6 +530,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "partition":
+        return _cmd_partition(args)
     if args.command == "overload":
         return _cmd_overload(args)
     if args.command == "perf":

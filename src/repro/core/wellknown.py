@@ -72,7 +72,25 @@ RETRY = "RETRY-POLICY"
 #: and it is never present while a briefcase is resident on a host.
 TRACE_CONTEXT = "TRACE-CONTEXT"
 
+#: Reserved system folder: the per-sender monotonic sequence number
+#: behind firewall-level duplicate suppression (see
+#: :mod:`repro.firewall.dedup`).  Like TRACE-CONTEXT it exists only on
+#: the raw wire — in-simulation the sequence rides the Message envelope
+#: at zero wire bytes, and ``receive_wire`` always strips the folder.
+DELIVERY_SEQ = "DELIVERY-SEQ"
+
+#: Reserved system folder: the unique landing id a ``go``/``spawn``
+#: transport carries so a retried or duplicated migration lands exactly
+#: once (see :class:`repro.firewall.dedup.LandingRegistry`).  Wire-only,
+#: like DELIVERY-SEQ; in-sim it rides the Message envelope.
+LANDING_ID = "LANDING-ID"
+
+#: Incarnation counter of a recoverable agent: stamped into the task
+#: briefcase at launch and bumped by every checkpoint recovery, so a
+#: rear guard can tell a relaunched agent from an orphaned twin.
+INCARNATION = "INCARNATION"
+
 SYSTEM_FOLDERS = frozenset({
     CODE, CODE_KIND, SIGNATURE, PRINCIPAL, AGENT_NAME, WRAPPERS,
-    TRACE_CONTEXT,
+    TRACE_CONTEXT, DELIVERY_SEQ, LANDING_ID,
 })

@@ -19,12 +19,28 @@ from repro.services.base import ServiceAgent
 
 
 class FirewallAdmin(ServiceAgent):
-    """list / stat / kill / stop / resume, with access control."""
+    """list / stat / kill / stop / resume / tombstone, with access
+    control."""
 
     name = "firewall"
 
     def authorize(self, message: Message, op: str) -> bool:
+        if op == "tombstone" and self._may_tombstone(message):
+            return True
         return self.firewall.policy.can_admin(message.sender)
+
+    def _may_tombstone(self, message: Message) -> bool:
+        """Landing ids are ``host:instance:n`` — minted by the origin
+        host, whose name in the id acts as a capability: the
+        authenticated origin may abort its own migration without full
+        admin rights (nobody else can have a legitimate reason to)."""
+        if not message.sender.authenticated:
+            return False
+        args = message.briefcase.get_json(wellknown.ARGS, {})
+        landing_id = args.get("landing_id") if isinstance(args, dict) \
+            else None
+        return isinstance(landing_id, str) and \
+            landing_id.startswith(f"{message.sender.host}:")
 
     def op_list(self, message: Message):
         yield self.kernel.timeout(0)
@@ -84,6 +100,27 @@ class FirewallAdmin(ServiceAgent):
         killed = self.firewall.admin_kill(instance)
         response = Briefcase()
         response.put(wellknown.RESULTS, {"killed": killed})
+        return response
+
+    def op_tombstone(self, message: Message):
+        """Abort a migration landing (exactly-once safety valve).
+
+        The origin of a ``go``/``spawn`` whose ack was lost cannot tell
+        whether the agent landed; tombstoning the landing id resolves
+        the ambiguity — a landed instance is killed, a still-in-flight
+        transport will be refused on arrival.
+        """
+        args = message.briefcase.get_json(wellknown.ARGS, {})
+        landing_id = args.get("landing_id") if isinstance(args, dict) \
+            else None
+        if not landing_id:
+            raise ServiceError("tombstone needs ARGS {'landing_id': ...}")
+        reason = args.get("reason", "aborted") if isinstance(args, dict) \
+            else "aborted"
+        yield self.kernel.timeout(0)
+        result = self.firewall.tombstone_landing(landing_id, reason)
+        response = Briefcase()
+        response.put(wellknown.RESULTS, result)
         return response
 
     def op_stop(self, message: Message):

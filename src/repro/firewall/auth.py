@@ -129,6 +129,47 @@ class TrustStore:
         return principal
 
 
+def request_signing_bytes(briefcase) -> bytes:
+    """The byte string a *request* signature covers: every folder except
+    the signature itself, names and contents, in sorted order.
+
+    Code-carrying briefcases sign their CODE (see
+    :func:`repro.firewall.firewall.code_signing_bytes`); codeless
+    control-plane requests — admin ops like ``kill``/``tombstone``, sent
+    cross-host by rear guards and migration origins — have no CODE to
+    cover, so the signature binds the whole request instead.  Folder
+    names are length-prefixed so ``("AB", "C")`` and ``("A", "BC")``
+    cannot collide.
+    """
+    from repro.core import wellknown
+    parts = []
+    for name in sorted(briefcase.names()):
+        if name == wellknown.SIGNATURE:
+            continue
+        encoded = name.encode()
+        parts.append(len(encoded).to_bytes(4, "big") + encoded)
+        for element in briefcase.get(name):
+            parts.append(len(element.data).to_bytes(4, "big") +
+                         element.data)
+    return b"".join(parts)
+
+
+def sign_request(briefcase, keychain: KeyChain, principal: str) -> None:
+    """Stamp a codeless request briefcase with a sender signature.
+
+    Replaces any existing request signature (retries mutate meet tokens,
+    so each attempt must be re-signed).  Code-carrying briefcases are
+    left alone — their signature was made by the payload packager and
+    covers the code.
+    """
+    from repro.core import wellknown
+    if briefcase.has(wellknown.CODE) or briefcase.has(wellknown.CODE_KIND):
+        return
+    briefcase.drop(wellknown.SIGNATURE)
+    signature = keychain.sign(principal, request_signing_bytes(briefcase))
+    briefcase.put(wellknown.SIGNATURE, signature.to_text())
+
+
 def build_shared_trust(principals: Dict[str, bool]) -> "tuple[KeyChain, TrustStore]":
     """Convenience for tests/experiments: one keychain + a trust store
     knowing every principal; the bool marks trusted ones."""

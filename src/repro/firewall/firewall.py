@@ -51,7 +51,16 @@ from repro.core.identity import AgentId, InstanceAllocator, SYSTEM_PRINCIPAL
 from repro.core.limits import DEFAULT_WIRE_LIMITS
 from repro.core.uri import AgentUri
 from repro.core import wellknown
-from repro.firewall.auth import Signature, TrustStore
+from repro.firewall.auth import (Signature, TrustStore,
+                                 request_signing_bytes)
+from repro.firewall.dedup import (
+    DedupWindow,
+    LandingRegistry,
+    extract_landing,
+    extract_seq,
+    inject_landing,
+    inject_seq,
+)
 from repro.firewall.governor import Governor
 from repro.firewall.message import (
     DEFAULT_QUEUE_TIMEOUT,
@@ -149,6 +158,14 @@ class Firewall:
             network.configure_breakers(governor_config.breaker)
         #: Poison wire messages that failed to decode (newest last).
         self.quarantine: List[dict] = []
+        #: Idempotent-receive state.  Deliberately NOT reset on crash():
+        #: the firewall object survives a host restart, so duplicates
+        #: produced *by* the outage are still suppressed afterwards.
+        self.dedup = DedupWindow()
+        self.landings = LandingRegistry()
+        #: Next outbound sequence per destination host (stamped once per
+        #: message in :meth:`_forward_remote`; retries reuse the stamp).
+        self._send_seqs: Dict[str, int] = {}
         self.stats = DeliveryStats()
         self.events: List[Tuple[float, str]] = []
         #: VM name → object implementing launch_agent(); set by the node.
@@ -299,6 +316,15 @@ class Firewall:
             self.log(f"no route to host {message.target.host!r}")
             raise AgentNotFoundError(
                 f"unknown host {message.target.host!r}")
+        if message.seq is None:
+            # Stamp once, on the message object the sender's retry loop
+            # reuses: a retry after a delivered-but-unacked attempt
+            # carries the same sequence, so the peer's dedup window
+            # suppresses the double delivery.
+            next_seq = self._send_seqs.get(message.target.host, 0) + 1
+            self._send_seqs[message.target.host] = next_seq
+            message.seq = next_seq
+            message.seq_src = self.host.name
         wire_bytes = codec.encoded_size(message.briefcase) + \
             ENVELOPE_OVERHEAD_BYTES
         try:
@@ -341,7 +367,63 @@ class Firewall:
                 telemetry.metrics.inc("agent.bytes_out", wire_bytes,
                                       agent=sender_name)
         transported = message.snapshot_for_transport()
+        injector = self.network.fault_injector
+        fault = None
+        if injector is not None:
+            fault = injector.delivery_verdict(
+                self.host.name, peer.host.name, wire_bytes)
+        if fault is not None:
+            kind, delay = fault
+            if kind == "corrupt-wire":
+                # The frame was damaged in flight: it reaches the peer
+                # through the raw-bytes path (usually straight into the
+                # poison quarantine).  The sender cannot know — it sees
+                # a normal completed transfer.
+                self._deliver_corrupted(peer, transported, injector)
+                return True
+            if kind == "delay":
+                # The only copy is held back — it arrives out of order
+                # relative to later traffic on the same channel.
+                self._deliver_later(peer, transported, delay)
+                return True
+            # "duplicate": deliver now and replay a copy later; the
+            # replay carries the same sequence stamp, so the peer's
+            # dedup window swallows it.
+            self._deliver_later(peer, message.snapshot_for_transport(),
+                                delay)
         return peer.receive_remote(transported)
+
+    def _deliver_later(self, peer: "Firewall", message: Message,
+                       delay: float) -> None:
+        """Hand ``message`` to ``peer`` after ``delay`` virtual seconds
+        (injected duplicate replays and reorder jitter)."""
+        def _delayed():
+            yield self.kernel.timeout(delay)
+            if not self.network.host_is_up(peer.host.name):
+                self.log(f"delayed delivery to {peer.host.name} lost "
+                         f"(host down)")
+                return
+            try:
+                peer.receive_remote(message)
+            except (TaxError, NetworkError) as exc:
+                self.log(f"delayed delivery to {peer.host.name} "
+                         f"refused: {exc}")
+        self.kernel.spawn(_delayed(),
+                          name=f"delayed:{self.host.name}->"
+                               f"{peer.host.name}")
+
+    def _deliver_corrupted(self, peer: "Firewall", message: Message,
+                           injector) -> bool:
+        """Deliver ``message`` as a bit-flipped raw wire frame."""
+        briefcase = message.briefcase
+        propagation.inject(briefcase, message.trace)
+        inject_seq(briefcase, message.seq_src, message.seq)
+        inject_landing(briefcase, message.landing_id)
+        data = injector.flip_bit(codec.encode(briefcase))
+        return peer.receive_wire(
+            data, message.target, message.sender,
+            queue_timeout=message.queue_timeout,
+            priority=message.priority)
 
     def receive_wire(self, data: bytes, target: AgentUri,
                      sender: SenderInfo,
@@ -361,15 +443,19 @@ class Firewall:
         except CodecError as exc:
             self._quarantine_poison(len(data), sender, exc)
             return False
-        # The reserved TRACE-CONTEXT folder exists only on the raw wire:
-        # strip it here (whether or not telemetry is on) so resident
-        # briefcases never carry telemetry state across the next hop.
+        # The reserved TRACE-CONTEXT / DELIVERY-SEQ / LANDING-ID folders
+        # exist only on the raw wire: strip them here (whether or not
+        # telemetry is on) so resident briefcases never carry transport
+        # state across the next hop.
         trace = propagation.extract(briefcase)
         if not self.kernel.telemetry.enabled:
             trace = None
+        seq_src, seq = extract_seq(briefcase)
+        landing_id = extract_landing(briefcase)
         return self.receive_remote(Message(
             target=target, briefcase=briefcase, sender=sender,
-            queue_timeout=queue_timeout, priority=priority, trace=trace))
+            queue_timeout=queue_timeout, priority=priority, trace=trace,
+            seq=seq, seq_src=seq_src, landing_id=landing_id))
 
     def _quarantine_poison(self, nbytes: int, sender: SenderInfo,
                            exc: CodecError) -> None:
@@ -398,16 +484,53 @@ class Firewall:
     def receive_remote(self, message: Message) -> bool:
         """Entry point for messages arriving from a peer firewall."""
         self.stats.received_remote += 1
+        if message.seq is not None and message.seq_src:
+            verdict = self.dedup.observe(message.seq_src, message.seq)
+            if verdict == "duplicate":
+                # Already processed: acknowledge (True) without
+                # re-delivering, so the sender's retry loop settles.
+                self.stats.duplicates += 1
+                self._count("fw.dedup", outcome="duplicate")
+                self._flight("dedup-duplicate", src=message.seq_src,
+                             seq=message.seq)
+                self.log(f"suppressed duplicate seq={message.seq} "
+                         f"from {message.seq_src}")
+                return True
+            if verdict == "reject":
+                # Below the window: freshness can no longer be proven,
+                # and never-double-deliver wins over at-least-once.
+                self.stats.rejected += 1
+                self._count("fw.dedup", outcome="reject")
+                self._flight("dedup-reject", src=message.seq_src,
+                             seq=message.seq)
+                self.log(f"rejected out-of-window seq={message.seq} "
+                         f"from {message.seq_src}")
+                return False
+        tracked = message.seq is not None and message.seq_src
         try:
             message = self._authenticate(message)
         except TrustError as exc:
             self.stats.rejected += 1
             self._count("fw.auth", outcome="rejected")
             self.log(f"rejected remote message: {exc}")
+            if tracked:
+                self.dedup.forget(message.seq_src, message.seq)
             return False
         self._count("fw.auth", outcome="verified"
                     if message.sender.authenticated else "unsigned")
-        return self._dispatch_local(message)
+        try:
+            delivered = self._dispatch_local(message)
+        except TaxError:
+            # The message was refused (quota, queue-full, policy …): it
+            # was never processed, so its sequence must not be
+            # remembered — the sender's retry is fresh traffic, not a
+            # duplicate.
+            if tracked:
+                self.dedup.forget(message.seq_src, message.seq)
+            raise
+        if not delivered and tracked:
+            self.dedup.forget(message.seq_src, message.seq)
+        return delivered
 
     def _authenticate(self, message: Message) -> Message:
         """First-level authentication of an arriving briefcase.
@@ -416,28 +539,25 @@ class Firewall:
         principal.  An *invalid* signature is rejected outright.  No
         signature means the claimed principal stays unauthenticated.
         """
+        from dataclasses import replace
         briefcase = message.briefcase
         signature_text = briefcase.get_text(wellknown.SIGNATURE)
         if signature_text is None:
-            return Message(
-                target=message.target, briefcase=briefcase,
-                sender=SenderInfo(
-                    principal=message.sender.principal,
-                    host=message.sender.host,
-                    uri=message.sender.uri,
-                    authenticated=False),
-                queue_timeout=message.queue_timeout, hops=message.hops,
-                priority=message.priority, trace=message.trace)
+            return replace(message, sender=SenderInfo(
+                principal=message.sender.principal,
+                host=message.sender.host,
+                uri=message.sender.uri,
+                authenticated=False))
         signature = Signature.from_text(signature_text)
-        principal = self.trust_store.verify(
-            signature, code_signing_bytes(briefcase))
-        return Message(
-            target=message.target, briefcase=briefcase,
-            sender=SenderInfo(
-                principal=principal, host=message.sender.host,
-                uri=message.sender.uri, authenticated=True),
-            queue_timeout=message.queue_timeout, hops=message.hops,
-            priority=message.priority, trace=message.trace)
+        # Code-carrying briefcases sign their CODE; codeless requests
+        # (cross-host admin ops) sign the whole request.
+        data = code_signing_bytes(briefcase)
+        if not data:
+            data = request_signing_bytes(briefcase)
+        principal = self.trust_store.verify(signature, data)
+        return replace(message, sender=SenderInfo(
+            principal=principal, host=message.sender.host,
+            uri=message.sender.uri, authenticated=True))
 
     def _dispatch_local(self, message: Message,
                         retransmits: int = 0,
@@ -536,11 +656,17 @@ class Firewall:
             self.registry.remove(registration.agent_id)
             killed += 1
         records = self.pending.crash_flush()
+        # Landings that ran here are gone with their processes: a
+        # retried landing (the origin never saw the ack) must be refused
+        # after restart, not resurrected as a twin — the rear guard owns
+        # recovery from the last checkpoint.
+        tombstoned = self.landings.crash_all(reason)
         self._count("fw.crashes")
         self._flight("crash", reason=reason, killed=killed,
-                     dead_lettered=len(records))
+                     dead_lettered=len(records), tombstoned=tombstoned)
         self.log(f"crashed: {killed} registrations destroyed, "
-                 f"{len(records)} parked messages dead-lettered")
+                 f"{len(records)} parked messages dead-lettered, "
+                 f"{tombstoned} landings tombstoned")
         return killed
 
     def retransmit_dead_letters(self, max_retransmits: int = 2) -> int:
@@ -608,7 +734,27 @@ class Firewall:
             "dead_letters": self.pending.dead_letter_records(),
             "governor": self.governor.snapshot(),
             "quarantined": list(self.quarantine),
+            "dedup": self.dedup.snapshot(),
+            "landings": self.landings.snapshot(),
         }
+
+    def tombstone_landing(self, landing_id: str,
+                          reason: str = "aborted") -> dict:
+        """Admin primitive: forbid ``landing_id`` here, killing the
+        instance it launched if one is still running (two-phase abort
+        of an ambiguous ``go``)."""
+        uri = self.landings.tombstone(landing_id, reason)
+        killed = False
+        if uri is not None:
+            instance = AgentUri.parse(uri).instance
+            if instance is not None:
+                killed = self.admin_kill(instance)
+        self._count("fw.landing_tombstoned", reason=reason)
+        self._flight("landing-tombstone", landing_id=landing_id,
+                     reason=reason, killed=killed)
+        self.log(f"tombstoned landing {landing_id} "
+                 f"(reason={reason}, killed={killed})")
+        return {"tombstoned": True, "killed": killed}
 
     def admin_kill(self, instance: str) -> bool:
         """Terminate an agent: interrupt its process and unregister it."""

@@ -57,6 +57,16 @@ class Message:
     #: Causal trace context (envelope metadata, like ``hops`` — zero
     #: wire bytes in-sim).  None whenever telemetry is disabled.
     trace: Optional[TraceContext] = None
+    #: Per-sender monotonic delivery sequence, stamped once by the
+    #: forwarding firewall (``seq_src`` names the stamping host) and
+    #: reused across retries, so the receiver's dedup window can tell a
+    #: retransmit from fresh traffic.  Envelope metadata in-sim; the
+    #: reserved DELIVERY-SEQ folder on the raw wire.
+    seq: Optional[int] = None
+    seq_src: Optional[str] = None
+    #: Unique landing id of a go/spawn transport (exactly-once
+    #: migration; the reserved LANDING-ID folder on the raw wire).
+    landing_id: Optional[str] = None
 
     def with_target(self, target: AgentUri) -> "Message":
         return replace(self, target=target)
@@ -69,7 +79,10 @@ class Message:
                        queue_timeout=self.queue_timeout,
                        hops=self.hops + 1,
                        priority=self.priority,
-                       trace=self.trace)
+                       trace=self.trace,
+                       seq=self.seq,
+                       seq_src=self.seq_src,
+                       landing_id=self.landing_id)
 
 
 @dataclass
@@ -83,3 +96,6 @@ class DeliveryStats:
     forwarded_remote: int = 0
     received_remote: int = 0
     dropped_by_wrapper: int = 0
+    #: Remote arrivals suppressed by the dedup window (acked, not
+    #: re-delivered).
+    duplicates: int = 0

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core import wellknown
+from repro.core.errors import BriefcaseError
 
 #: Version nibble of the header line (mirrors W3C traceparent "00-").
 HEADER_VERSION = "00"
@@ -132,7 +133,11 @@ def extract(briefcase) -> Optional[TraceContext]:
     """
     if not briefcase.has(wellknown.TRACE_CONTEXT):
         return None
-    header = briefcase.get_text(wellknown.TRACE_CONTEXT)
+    try:
+        header = briefcase.get_text(wellknown.TRACE_CONTEXT)
+    except BriefcaseError:
+        # Corrupted in flight into non-UTF8: no context.
+        header = None
     briefcase.drop(wellknown.TRACE_CONTEXT)
     if header is None:
         return None

@@ -32,8 +32,21 @@ KIND_LINK_DOWN = "link-down"
 KIND_LINK_UP = "link-up"
 KIND_CRASH = "crash"
 KIND_RESTART = "restart"
+#: One *direction* of a link fails/heals (asymmetric failure: requests
+#: arrive but acks are lost — the classic exactly-once hazard).
+KIND_LINK_DOWN_ONEWAY = "link-down-oneway"
+KIND_LINK_UP_ONEWAY = "link-up-oneway"
+#: Group-level split-brain: every link crossing a group boundary goes
+#: down at once.  ``heal`` restores every non-loopback link.
+KIND_PARTITION = "partition"
+KIND_HEAL = "heal"
 
-_KINDS = (KIND_LINK_DOWN, KIND_LINK_UP, KIND_CRASH, KIND_RESTART)
+_KINDS = (KIND_LINK_DOWN, KIND_LINK_UP, KIND_CRASH, KIND_RESTART,
+          KIND_LINK_DOWN_ONEWAY, KIND_LINK_UP_ONEWAY,
+          KIND_PARTITION, KIND_HEAL)
+
+_LINK_KINDS = (KIND_LINK_DOWN, KIND_LINK_UP,
+               KIND_LINK_DOWN_ONEWAY, KIND_LINK_UP_ONEWAY)
 
 
 @dataclass(frozen=True)
@@ -44,6 +57,10 @@ class FaultEvent:
     kind: str
     host: Optional[str] = None
     link: Optional[Tuple[str, str]] = None
+    #: Partition membership: a tuple of host-name groups.  Links whose
+    #: endpoints fall in *different* groups go down; hosts absent from
+    #: every group keep all their links.
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
 
     def __post_init__(self):
         if self.kind not in _KINDS:
@@ -52,8 +69,15 @@ class FaultEvent:
             raise ValueError("fault time must be non-negative")
         if self.kind in (KIND_CRASH, KIND_RESTART) and self.host is None:
             raise ValueError(f"{self.kind} event needs a host")
-        if self.kind in (KIND_LINK_DOWN, KIND_LINK_UP) and self.link is None:
+        if self.kind in _LINK_KINDS and self.link is None:
             raise ValueError(f"{self.kind} event needs a link")
+        if self.kind == KIND_PARTITION:
+            if not self.groups or len(self.groups) < 2:
+                raise ValueError("partition event needs >= 2 host groups")
+            # Normalise to tuples so events stay hashable/frozen.
+            object.__setattr__(
+                self, "groups",
+                tuple(tuple(group) for group in self.groups))
 
     def to_dict(self) -> dict:
         body = {"at": self.at, "kind": self.kind}
@@ -61,6 +85,8 @@ class FaultEvent:
             body["host"] = self.host
         if self.link is not None:
             body["link"] = list(self.link)
+        if self.groups is not None:
+            body["groups"] = [sorted(group) for group in self.groups]
         return body
 
 
@@ -72,11 +98,30 @@ class FaultPlan:
     events: List[FaultEvent] = field(default_factory=list)
     drop_probability: float = 0.0
     corrupt_probability: float = 0.0
+    #: Per-delivery fault rates (rolled on a stream forked from the
+    #: injector's, so enabling them never perturbs drop/corrupt draws).
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    wire_corrupt_probability: float = 0.0
+    #: Jitter range (seconds) for duplicated/reordered deliveries.
+    reorder_delay: Tuple[float, float] = (0.05, 0.5)
 
     def __post_init__(self):
-        for p in (self.drop_probability, self.corrupt_probability):
+        for p in (self.drop_probability, self.corrupt_probability,
+                  self.duplicate_probability, self.reorder_probability,
+                  self.wire_corrupt_probability):
             if not 0.0 <= p <= 1.0:
                 raise ValueError("fault probabilities must be in [0, 1]")
+        low, high = self.reorder_delay
+        if low < 0 or high < low:
+            raise ValueError("reorder_delay must be a non-negative range")
+
+    @property
+    def has_delivery_faults(self) -> bool:
+        """True when any per-delivery fault rate is configured."""
+        return bool(self.duplicate_probability or
+                    self.reorder_probability or
+                    self.wire_corrupt_probability)
 
     # -- building -----------------------------------------------------------------
 
@@ -107,13 +152,38 @@ class FaultPlan:
     def restart(self, at: float, host: str) -> "FaultPlan":
         return self.add(FaultEvent(at, KIND_RESTART, host=host))
 
+    def link_down_oneway(self, at: float, src: str, dst: str) -> "FaultPlan":
+        """Fail only the src→dst direction (asymmetric link failure)."""
+        return self.add(FaultEvent(at, KIND_LINK_DOWN_ONEWAY,
+                                   link=(src, dst)))
+
+    def link_up_oneway(self, at: float, src: str, dst: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, KIND_LINK_UP_ONEWAY,
+                                   link=(src, dst)))
+
+    def partition(self, at: float, *groups) -> "FaultPlan":
+        """Split the network into host groups at ``at`` (split-brain)."""
+        return self.add(FaultEvent(
+            at, KIND_PARTITION,
+            groups=tuple(tuple(group) for group in groups)))
+
+    def heal(self, at: float) -> "FaultPlan":
+        """Bring every non-loopback link back up in both directions."""
+        return self.add(FaultEvent(at, KIND_HEAL))
+
+    def split_brain(self, at: float, duration: float,
+                    *groups) -> "FaultPlan":
+        """Partition at ``at`` and heal ``duration`` later."""
+        self.partition(at, *groups)
+        return self.heal(at + duration)
+
     # -- consuming ----------------------------------------------------------------
 
     def sorted_events(self) -> List[FaultEvent]:
         """Events in firing order (time, then kind/target for stability)."""
         return sorted(self.events,
                       key=lambda e: (e.at, e.kind, e.host or "",
-                                     e.link or ()))
+                                     e.link or (), e.groups or ()))
 
     @property
     def horizon(self) -> float:
@@ -124,6 +194,10 @@ class FaultPlan:
             "name": self.name,
             "drop_probability": self.drop_probability,
             "corrupt_probability": self.corrupt_probability,
+            "duplicate_probability": self.duplicate_probability,
+            "reorder_probability": self.reorder_probability,
+            "wire_corrupt_probability": self.wire_corrupt_probability,
+            "reorder_delay": list(self.reorder_delay),
             "events": [e.to_dict() for e in self.sorted_events()],
         }
 
@@ -139,6 +213,9 @@ class FaultPlan:
                  flap_duration: Tuple[float, float] = (0.5, 2.0),
                  drop_probability: float = 0.0,
                  corrupt_probability: float = 0.0,
+                 duplicate_probability: float = 0.0,
+                 reorder_probability: float = 0.0,
+                 wire_corrupt_probability: float = 0.0,
                  name: str = "generated") -> "FaultPlan":
         """A random-but-reproducible plan drawn from a seeded stream.
 
@@ -147,7 +224,10 @@ class FaultPlan:
         """
         rng = stream_from(seed_or_stream, f"faultplan/{name}")
         plan = cls(name=name, drop_probability=drop_probability,
-                   corrupt_probability=corrupt_probability)
+                   corrupt_probability=corrupt_probability,
+                   duplicate_probability=duplicate_probability,
+                   reorder_probability=reorder_probability,
+                   wire_corrupt_probability=wire_corrupt_probability)
         hosts = list(hosts)
         links = list(links)
         for _ in range(crashes if hosts else 0):
@@ -176,17 +256,27 @@ class FaultInjector:
         self.plan = plan
         self.rng: RandomStream = stream_from(
             seed_or_stream, f"faults/{plan.name}")
+        #: Delivery-level faults (duplicate / reorder / in-flight
+        #: corruption) roll on a *forked* stream so turning them on never
+        #: shifts the drop/corrupt sequence of an existing plan.
+        self.delivery_rng: RandomStream = self.rng.fork("delivery")
         self.telemetry = telemetry
         self.rolls = 0
         self.dropped = 0
         self.corrupted = 0
+        self.delivery_rolls = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.wire_corrupted = 0
 
     def _count(self, kind: str, src: str = "", dst: str = "") -> None:
         if self.telemetry is not None and self.telemetry.enabled:
             self.telemetry.metrics.inc("faults.injected", kind=kind)
             if src:
+                # (The ring event's own kind is "fault"; the fault's
+                # kind rides along as a detail field.)
                 self.telemetry.flight.record(src, "fault",
-                                             kind=kind, dst=dst)
+                                             fault=kind, dst=dst)
 
     def verdict(self, src: str, dst: str, nbytes: int) -> Optional[str]:
         self.rolls += 1
@@ -202,6 +292,55 @@ class FaultInjector:
             return "corrupt"
         return None
 
+    def delivery_verdict(self, src: str, dst: str,
+                         nbytes: int) -> Optional[Tuple[str, float]]:
+        """Roll the delivery-level faults for one forwarded message.
+
+        Returns ``None`` (deliver normally) or a ``(kind, delay)`` pair:
+
+        - ``("corrupt-wire", 0.0)`` — deliver the frame bit-flipped
+          through the receiver's raw-wire path (poison quarantine food);
+        - ``("duplicate", delay)`` — deliver normally *and* replay a
+          copy ``delay`` seconds later;
+        - ``("delay", delay)`` — hold the only copy for ``delay``
+          seconds (reordering it past later traffic).
+        """
+        if not self.plan.has_delivery_faults:
+            return None
+        self.delivery_rolls += 1
+        plan = self.plan
+        if plan.wire_corrupt_probability and \
+                self.delivery_rng.chance(plan.wire_corrupt_probability):
+            self.wire_corrupted += 1
+            self._count("corrupt-wire", src, dst)
+            return ("corrupt-wire", 0.0)
+        if plan.duplicate_probability and \
+                self.delivery_rng.chance(plan.duplicate_probability):
+            self.duplicated += 1
+            self._count("duplicate", src, dst)
+            return ("duplicate",
+                    self.delivery_rng.uniform(*plan.reorder_delay))
+        if plan.reorder_probability and \
+                self.delivery_rng.chance(plan.reorder_probability):
+            self.reordered += 1
+            self._count("reorder", src, dst)
+            return ("delay",
+                    self.delivery_rng.uniform(*plan.reorder_delay))
+        return None
+
+    def flip_bit(self, data: bytes) -> bytes:
+        """Deterministically corrupt one bit of a wire frame."""
+        if not data:
+            return data
+        buffer = bytearray(data)
+        index = self.delivery_rng.randint(0, len(buffer) - 1)
+        buffer[index] ^= 1 << self.delivery_rng.randint(0, 7)
+        return bytes(buffer)
+
     def stats(self) -> Dict[str, int]:
         return {"rolls": self.rolls, "dropped": self.dropped,
-                "corrupted": self.corrupted}
+                "corrupted": self.corrupted,
+                "delivery_rolls": self.delivery_rolls,
+                "duplicated": self.duplicated,
+                "reordered": self.reordered,
+                "wire_corrupted": self.wire_corrupted}

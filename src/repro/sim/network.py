@@ -202,6 +202,54 @@ class Network:
             else:
                 raise NoRouteError(f"no link {key[0]} -> {key[1]}")
 
+    def set_link_up_oneway(self, src: str, dst: str, up: bool) -> None:
+        """Fail or heal only the src→dst direction of a link.
+
+        The asymmetric-failure primitive: with dst→src up but src→dst
+        down, dst's requests arrive and src's acks are lost — exactly
+        the ambiguity the exactly-once landing handshake must survive.
+        """
+        link = self._links.get((src, dst))
+        if link is None:
+            raise NoRouteError(f"no link {src} -> {dst}")
+        link.up = up
+
+    def partition(self, groups) -> int:
+        """Split the network: every directional link whose endpoints sit
+        in *different* groups goes down.  Hosts absent from every group
+        keep all their links (they are on "both sides").  Returns the
+        number of link directions taken down.
+        """
+        membership: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for host in group:
+                membership[host] = index
+        downed = 0
+        for (src, dst), link in self._links.items():
+            if src == dst:
+                continue
+            side_a = membership.get(src)
+            side_b = membership.get(dst)
+            if side_a is not None and side_b is not None \
+                    and side_a != side_b:
+                if link.up:
+                    downed += 1
+                link.up = False
+        return downed
+
+    def heal(self) -> int:
+        """Bring every non-loopback link back up (both directions).
+
+        Undoes partitions *and* pairwise link-down state; returns the
+        number of link directions that were down.
+        """
+        healed = 0
+        for (src, dst), link in self._links.items():
+            if src != dst and not link.up:
+                link.up = True
+                healed += 1
+        return healed
+
     def set_host_up(self, name: str, up: bool) -> None:
         """Crash or revive a host (affects every transfer touching it)."""
         if up:

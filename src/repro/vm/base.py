@@ -45,6 +45,10 @@ from repro.wrappers.stack import WrapperStack, build_stack, read_wrapper_specs
 LAUNCH_OVERHEAD_SECONDS = 0.002
 LAUNCH_PER_BYTE_SECONDS = 2e-8
 
+#: How often a launch handler re-checks a landing id another delivery of
+#: the same transport is currently resolving.
+LANDING_POLL_SECONDS = 0.005
+
 
 class VirtualMachine:
     """Common machinery; subclasses define ``accepts`` and entry prep."""
@@ -105,6 +109,32 @@ class VirtualMachine:
             "vm.launch", category="vm", track=f"vm:{host_name}",
             vm=self.name, sender=message.sender.principal,
             **link_args(message.trace))
+        landing = message.landing_id
+        if landing is not None:
+            state, info = self.firewall.landings.acquire(landing)
+            while state == "pending":
+                # Another delivery of the same transport is mid-launch;
+                # wait for it to resolve rather than racing it.
+                yield self.kernel.timeout(LANDING_POLL_SECONDS)
+                state, info = self.firewall.landings.acquire(landing)
+            if state == "launched":
+                # Duplicate transport of an already-landed agent: re-ack
+                # with the existing instance instead of hatching a twin.
+                span.end(outcome="duplicate", agent=info)
+                if telemetry.enabled:
+                    telemetry.metrics.inc("vm.duplicate_landings",
+                                          host=host_name, vm=self.name)
+                yield from self._ack(message, info)
+                return
+            if state == "tombstoned":
+                span.end(outcome="tombstoned", error=info)
+                yield from self._nack(
+                    message, f"landing refused ({info}): the origin "
+                    "aborted this migration or the host crashed after "
+                    "it landed")
+                return
+            # state == "new": this launch holds the pending slot and
+            # must resolve it below (record_launch / release).
         try:
             if not self.firewall.policy.can_launch(message.sender, self.name):
                 raise VMError(
@@ -125,12 +155,18 @@ class VirtualMachine:
             uri = self.launch_agent(message, entry)
         except TaxError as exc:
             self.launch_failures += 1
+            if landing is not None:
+                # Nothing launched: free the slot so a retry (or a
+                # duplicate still in flight) may try again.
+                self.firewall.landings.release(landing)
             if telemetry.enabled:
                 telemetry.metrics.inc("vm.launch_failures",
                                       host=host_name, vm=self.name)
             span.end(outcome="error", error=str(exc))
             yield from self._nack(message, str(exc))
             return
+        if landing is not None:
+            self.firewall.landings.record_launch(landing, uri)
         span.end(outcome="ok", agent=uri)
         if telemetry.enabled and span.duration is not None:
             telemetry.metrics.observe(

@@ -20,6 +20,7 @@ from repro.core.briefcase import Briefcase
 from repro.core.errors import MigrationError, TaxError
 from repro.core.uri import AgentUri
 from repro.core import wellknown
+from repro.sim.network import NetworkError
 from repro.wrappers.base import AgentWrapper
 
 
@@ -96,9 +97,33 @@ def recover(ctx, cabinet: "str | AgentUri", drawer: str,
     for transport_folder in (wellknown.STATUS, wellknown.MEET_TOKEN,
                              wellknown.REPLY_TO, wellknown.ERROR):
         checkpoint.drop(transport_folder)
+    incarnation = checkpoint.get_text(wellknown.INCARNATION)
+    if incarnation is not None:
+        # Bump the carried incarnation so reports from the relaunched
+        # agent are distinguishable from an orphaned twin still running
+        # the old one (the rear guard kills on mismatch).
+        try:
+            bumped = int(incarnation) + 1
+        except ValueError:
+            bumped = 1
+        checkpoint.drop(wellknown.INCARNATION)
+        checkpoint.put(wellknown.INCARNATION, str(bumped))
     vm_uri = vm_target if isinstance(vm_target, AgentUri) \
         else AgentUri.parse(vm_target)
-    launch_reply = yield from ctx.meet(vm_uri, checkpoint, timeout=timeout)
+    # The relaunch is a migration like any other: it carries a landing
+    # id so a duplicated or retried transport lands exactly once, and an
+    # ambiguous failure poisons the landing rather than leaking a twin.
+    landing = ctx._new_landing_id()
+    previous_landing = ctx._outbound_landing
+    ctx._outbound_landing = landing
+    try:
+        launch_reply = yield from ctx.meet(vm_uri, checkpoint,
+                                           timeout=timeout)
+    except (TaxError, NetworkError) as exc:
+        ctx._abort_landing(vm_uri, landing, "recover")
+        raise MigrationError(f"recovery relaunch failed: {exc}") from exc
+    finally:
+        ctx._outbound_landing = previous_landing
     if launch_reply.get_text(wellknown.STATUS) != "ok":
         raise MigrationError(
             f"recovery relaunch failed: "

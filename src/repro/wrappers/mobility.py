@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, Optional
 
+from repro.agent.context import DEFAULT_MEET_TIMEOUT
 from repro.core.briefcase import Briefcase
 from repro.core.errors import MigrationError, TaxError
 from repro.core.uri import AgentUri
@@ -40,6 +41,7 @@ CURRENT_STOP = "CURRENT-STOP"
 HOME = "HOME"
 FAILURES = "FAILURES"
 POSTPROCESS = "POSTPROCESS"
+HOP_TIMEOUT = "HOP-TIMEOUT"
 
 
 def install_program(briefcase: Briefcase, payload: loader.Payload) -> None:
@@ -68,6 +70,27 @@ def set_home(briefcase: Briefcase, home_uri: str) -> None:
     briefcase.put(HOME, home_uri)
 
 
+def set_hop_timeout(briefcase: Briefcase, seconds: float) -> None:
+    """Per-hop ack patience for the carried itinerary.
+
+    The mobility wrapper waits this long for each migration ack before
+    re-sending the transport (the landing handshake makes the re-send
+    land exactly once).  Without the folder, hops use the default meet
+    timeout — fine on a quiet network, glacial when an asymmetric link
+    failure is eating acks."""
+    briefcase.put(HOP_TIMEOUT, repr(float(seconds)))
+
+
+def hop_timeout(briefcase: Briefcase, default: float) -> float:
+    raw = briefcase.get_text(HOP_TIMEOUT)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
 def set_postprocessor(briefcase: Briefcase, func) -> None:
     """Name an *installed* function (module:qualname) applied to every raw
     program result before it is stored — the condensation step."""
@@ -78,7 +101,8 @@ def make_task_briefcase(program: loader.Payload,
                         stops: Iterable[Dict[str, Any]],
                         home_uri: Optional[str] = None,
                         postprocessor=None,
-                        agent_name: str = "mw_agent") -> Briefcase:
+                        agent_name: str = "mw_agent",
+                        hop_timeout: Optional[float] = None) -> Briefcase:
     """Assemble a launch-ready mobility-wrapper briefcase.
 
     ``stops`` are dicts with keys ``vm`` (URI string) and ``args``.
@@ -94,6 +118,8 @@ def make_task_briefcase(program: loader.Payload,
         set_home(briefcase, home_uri)
     if postprocessor is not None:
         set_postprocessor(briefcase, postprocessor)
+    if hop_timeout is not None:
+        set_hop_timeout(briefcase, hop_timeout)
     return briefcase
 
 
@@ -149,6 +175,7 @@ def mobile_task_agent(ctx, briefcase: Briefcase):
     """Generic mobility wrapper: execute-here, hop, repeat, report."""
     briefcase.append(wellknown.TRAIL,
                      json.dumps({"host": ctx.host_name, "t": ctx.now}))
+    patience = hop_timeout(briefcase, DEFAULT_MEET_TIMEOUT)
     stop = briefcase.get_json(CURRENT_STOP)
     if stop is not None:
         planned = _stop_host(stop)
@@ -159,7 +186,7 @@ def mobile_task_agent(ctx, briefcase: Briefcase):
             # incarnation executes there); if the host is still
             # unreachable, skip the stop and report it.
             try:
-                yield from ctx.go(stop["vm"])
+                yield from ctx.go(stop["vm"], timeout=patience)
             except MigrationError as exc:
                 ctx.log(f"unable to resume at {stop['vm']}: {exc}")
                 briefcase.drop(CURRENT_STOP)
@@ -183,7 +210,7 @@ def mobile_task_agent(ctx, briefcase: Briefcase):
         stop = json.loads(entry.as_text())
         briefcase.put(CURRENT_STOP, stop)
         try:
-            yield from ctx.go(stop["vm"])
+            yield from ctx.go(stop["vm"], timeout=patience)
         except MigrationError as exc:
             # "Unable to reach %s": log it and try the next stop.
             ctx.log(f"unable to reach {stop['vm']}: {exc}")

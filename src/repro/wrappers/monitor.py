@@ -88,6 +88,12 @@ class MonitorWrapper(AgentWrapper):
             "host": ctx.host_name,
             "t": ctx.now,
         }
+        incarnation = ctx.briefcase.get_text(wellknown.INCARNATION)
+        if incarnation is not None:
+            # Carried only by incarnation-stamped agents (see
+            # wellknown.INCARNATION): lets a rear guard tell reports of
+            # the live incarnation from an orphaned twin's.
+            body["incarnation"] = incarnation
         body.update(extra or {})
         briefcase = Briefcase()
         briefcase.put(EVENT_FOLDER, body)

@@ -133,3 +133,86 @@ class TestHostileAllocations:
             codec.decode(wire, limits=WireLimits(max_encoded_bytes=100))
         # And None disables the cap again.
         assert codec.decode(wire, limits=None) == briefcase
+
+
+class TestWireDeliveryFaults:
+    """The partition fault kinds, replayed at the rawest layer: frames
+    handed straight to :meth:`Firewall.receive_wire` duplicated,
+    reordered, and bit-flipped.  Nothing may crash; duplicates must be
+    suppressed, reorderings accepted, and corruption quarantined."""
+
+    def _sink(self, cluster):
+        firewall = cluster.node("solo.test").firewall
+        from repro.core.uri import AgentUri
+        registration = firewall.register_agent(
+            name="sink", principal="system", vm_name="vm_python",
+            deliver_fn=lambda message: True)
+        return firewall, firewall.uri_for(registration).local()
+
+    def _frame(self, seq, body=b"payload"):
+        from repro.firewall.dedup import inject_seq
+        briefcase = Briefcase()
+        briefcase.folder("BODY").push(body)
+        inject_seq(briefcase, "peer.test", seq)
+        return codec.encode(briefcase)
+
+    def _sender(self):
+        from repro.firewall.message import SenderInfo
+        return SenderInfo(principal="peer", host="peer.test")
+
+    def test_duplicated_frames_are_acked_not_redelivered(
+            self, single_cluster):
+        firewall, target = self._sink(single_cluster)
+        frame = self._frame(seq=1)
+        assert firewall.receive_wire(frame, target, self._sender()) is True
+        # The replay is acknowledged (the sender's retry loop settles)
+        # but never reaches the agent a second time.
+        assert firewall.receive_wire(frame, target, self._sender()) is True
+        assert firewall.dedup.accepted == 1
+        assert firewall.dedup.duplicates == 1
+        assert firewall.dedup.conservation_holds()
+
+    def test_reordered_frames_all_accepted(self, single_cluster):
+        firewall, target = self._sink(single_cluster)
+        for seq in (3, 1, 2):
+            frame = self._frame(seq, body=b"m%d" % seq)
+            assert firewall.receive_wire(
+                frame, target, self._sender()) is True
+        assert firewall.dedup.accepted == 3
+        assert firewall.dedup.duplicates == 0
+        assert firewall.dedup.conservation_holds()
+
+    def test_bit_flipped_frames_never_crash(self, single_cluster):
+        firewall, target = self._sink(single_cluster)
+        rng = RandomStream(7, name="fuzz/wire-flip")
+        quarantined = 0
+        for seq in range(1, 41):
+            wire = bytearray(self._frame(seq))
+            pos = rng.randint(0, len(wire) - 1)
+            wire[pos] ^= 1 << rng.randint(0, 7)
+            try:
+                ok = firewall.receive_wire(bytes(wire), target,
+                                           self._sender())
+            except FORBIDDEN as exc:  # pragma: no cover
+                pytest.fail(f"receive_wire leaked "
+                            f"{type(exc).__name__}: {exc}")
+            if not ok:
+                quarantined += 1
+        assert len(firewall.quarantine) == quarantined
+        assert firewall.dedup.conservation_holds()
+
+    def test_wire_folders_never_reach_the_agent(self, single_cluster):
+        """DELIVERY-SEQ is wire-only: the dispatched briefcase must not
+        carry it (it would otherwise ride along on the next hop)."""
+        from repro.core import wellknown
+        firewall = single_cluster.node("solo.test").firewall
+        seen = []
+        registration = firewall.register_agent(
+            name="probe", principal="system", vm_name="vm_python",
+            deliver_fn=lambda message: (seen.append(message), True)[1])
+        target = firewall.uri_for(registration).local()
+        assert firewall.receive_wire(self._frame(seq=1), target,
+                                     self._sender()) is True
+        assert len(seen) == 1
+        assert not seen[0].briefcase.has(wellknown.DELIVERY_SEQ)
+        assert seen[0].seq == 1 and seen[0].seq_src == "peer.test"

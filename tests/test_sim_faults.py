@@ -4,8 +4,12 @@ import pytest
 
 from repro.sim.faults import (
     KIND_CRASH,
+    KIND_HEAL,
     KIND_LINK_DOWN,
+    KIND_LINK_DOWN_ONEWAY,
     KIND_LINK_UP,
+    KIND_LINK_UP_ONEWAY,
+    KIND_PARTITION,
     KIND_RESTART,
     FaultEvent,
     FaultInjector,
@@ -97,7 +101,9 @@ class TestFaultInjector:
         assert all(injector.verdict("a", "b", 1) is None
                    for _ in range(20))
         assert injector.stats() == {"rolls": 20, "dropped": 0,
-                                    "corrupted": 0}
+                                    "corrupted": 0, "delivery_rolls": 0,
+                                    "duplicated": 0, "reordered": 0,
+                                    "wire_corrupted": 0}
 
     def test_accepts_prebuilt_stream(self):
         plan = FaultPlan(drop_probability=1.0)
@@ -176,3 +182,115 @@ class TestHostDownSemantics:
             yield from lan.transfer("a", "a", 100)
         kernel.run_process(proc())
         assert lan.fault_injector.stats()["rolls"] == 0
+
+
+class TestDeliveryVerdicts:
+    def test_delivery_sequence_is_seed_deterministic(self):
+        plan = FaultPlan(duplicate_probability=0.3,
+                         reorder_probability=0.2,
+                         wire_corrupt_probability=0.1)
+        one = FaultInjector(plan, seed_or_stream=5)
+        two = FaultInjector(plan, seed_or_stream=5)
+        verdicts = [one.delivery_verdict("a", "b", 100)
+                    for _ in range(60)]
+        assert verdicts == [two.delivery_verdict("a", "b", 100)
+                            for _ in range(60)]
+        assert one.stats() == two.stats()
+        assert one.stats()["delivery_rolls"] == 60
+        assert one.stats()["duplicated"] > 0
+        assert one.stats()["reordered"] > 0
+        assert one.stats()["wire_corrupted"] > 0
+
+    def test_delivery_stream_is_independent_of_verdict_stream(self):
+        """Interleaving classic drop rolls must not shift the delivery
+        stream (they fork from separate substreams)."""
+        plan = FaultPlan(duplicate_probability=0.5, drop_probability=0.5)
+        one = FaultInjector(plan, seed_or_stream=9)
+        two = FaultInjector(plan, seed_or_stream=9)
+        pure = [one.delivery_verdict("a", "b", 10) for _ in range(20)]
+        interleaved = []
+        for _ in range(20):
+            two.verdict("a", "b", 10)
+            interleaved.append(two.delivery_verdict("a", "b", 10))
+        assert pure == interleaved
+
+    def test_clean_plan_has_no_delivery_faults(self):
+        injector = FaultInjector(FaultPlan(), seed_or_stream=5)
+        assert not FaultPlan().has_delivery_faults
+        assert all(injector.delivery_verdict("a", "b", 1) is None
+                   for _ in range(20))
+
+    def test_reorder_delay_within_configured_bounds(self):
+        plan = FaultPlan(reorder_probability=1.0,
+                         reorder_delay=(0.25, 0.75))
+        injector = FaultInjector(plan, seed_or_stream=3)
+        for _ in range(50):
+            kind, delay = injector.delivery_verdict("a", "b", 10)
+            assert kind == "delay"
+            assert 0.25 <= delay <= 0.75
+
+    def test_delivery_probability_validation(self):
+        for field in ("duplicate_probability", "reorder_probability",
+                      "wire_corrupt_probability"):
+            with pytest.raises(ValueError):
+                FaultPlan(**{field: 1.5})
+
+    def test_flip_bit_changes_exactly_one_bit(self):
+        plan = FaultPlan(wire_corrupt_probability=1.0)
+        injector = FaultInjector(plan, seed_or_stream=4)
+        original = bytes(range(32))
+        flipped = injector.flip_bit(original)
+        assert len(flipped) == len(original)
+        diff = [(a ^ b) for a, b in zip(original, flipped)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+
+class TestPartitionEvents:
+    def test_partition_and_heal_builders(self):
+        plan = FaultPlan()
+        plan.partition(1.0, ["a"], ["b", "c"])
+        plan.heal(2.0)
+        kinds = [e.kind for e in plan.sorted_events()]
+        assert kinds == [KIND_PARTITION, KIND_HEAL]
+
+    def test_split_brain_builder_pairs_partition_with_heal(self):
+        plan = FaultPlan().split_brain(1.0, 2.5, ["a"], ["b"])
+        events = plan.sorted_events()
+        assert [(e.at, e.kind) for e in events] == \
+            [(1.0, KIND_PARTITION), (3.5, KIND_HEAL)]
+        assert events[0].groups == (("a",), ("b",))
+
+    def test_oneway_builders(self):
+        plan = FaultPlan()
+        plan.link_down_oneway(1.0, "a", "b")
+        plan.link_up_oneway(2.0, "a", "b")
+        kinds = [e.kind for e in plan.sorted_events()]
+        assert kinds == [KIND_LINK_DOWN_ONEWAY, KIND_LINK_UP_ONEWAY]
+
+
+class TestPartitionNetworkSemantics:
+    @pytest.fixture
+    def mesh(self, kernel):
+        net = Network(kernel)
+        for pair in (("a", "b"), ("a", "c"), ("b", "c")):
+            net.link(*pair, latency=0.001, bandwidth=1000.0)
+        return net
+
+    def test_partition_downs_only_cross_group_links(self, mesh):
+        downed = mesh.partition([["a"], ["b", "c"]])
+        assert downed == 4  # a↔b and a↔c, both directions
+        assert not mesh.link_between("a", "b").up
+        assert not mesh.link_between("b", "a").up
+        assert mesh.link_between("b", "c").up
+
+    def test_heal_restores_everything(self, mesh):
+        mesh.partition([["a"], ["b", "c"]])
+        mesh.set_link_up_oneway("b", "c", False)
+        assert mesh.heal() == 5
+        for pair in (("a", "b"), ("b", "a"), ("b", "c")):
+            assert mesh.link_between(*pair).up
+
+    def test_oneway_failure_is_asymmetric(self, mesh):
+        mesh.set_link_up_oneway("a", "b", False)
+        assert not mesh.link_between("a", "b").up
+        assert mesh.link_between("b", "a").up
