@@ -465,6 +465,11 @@ class AgentContext:
         landing = self._new_landing_id()
         self._outbound_trace = hop_trace
         self._outbound_landing = landing
+        # Journal the intent before the transport leaves: if this host
+        # crashes mid-hop, replay knows the agent's fate is ambiguous
+        # (it may already be running at the destination) and must not
+        # resurrect a twin here.
+        self.firewall.journal_depart_intent(self.registration, landing)
         try:
             reply = yield from self.meet(target, transport, timeout=timeout)
         except (TaxError, NetworkError) as exc:
@@ -474,6 +479,7 @@ class AgentContext:
             # The transport may have landed with only the ack lost:
             # poison the landing so no twin survives, then stay here.
             self._abort_landing(target, landing, "go")
+            self.firewall.journal_depart_failed(self.registration)
             raise MigrationError(f"go({target}) failed: {exc}") from exc
         finally:
             self._outbound_trace = None
@@ -484,6 +490,7 @@ class AgentContext:
             span.end(outcome="rejected", error=error)
             if telemetry.enabled:
                 telemetry.metrics.inc("agent.migration_failures", op="go")
+            self.firewall.journal_depart_failed(self.registration)
             raise MigrationError(f"go({target}) rejected: {error}")
         # The move succeeded: terminate this instance.
         self.moved = True
@@ -498,7 +505,8 @@ class AgentContext:
             telemetry.flight.record(self.host_name, "hop",
                                     agent=self.name, op="go",
                                     dst=target.host)
-        self.firewall.unregister_agent(self.registration.agent_id)
+        self.firewall.unregister_agent(self.registration.agent_id,
+                                       reason="moved")
         if self.mailbox is not None:
             self.mailbox.close()
         self.log(f"moved to {reply.get_text('AGENT-URI', str(target))}")

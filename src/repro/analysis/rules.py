@@ -18,6 +18,7 @@ DET003    environment reads in deterministic code (sim/core)
 DET004    iteration over bare set displays/constructors
 DET005    identity-dependent ordering or membership (``id(...)``)
 DET006    ``dict.popitem`` (order-dependent and destructive)
+DUR001    journaled firewall/landing state mutated around the journal
 ERR001    broad ``except`` that swallows the exception object
 KER001    scheduling primitives bypassing the simulation kernel
 MUT001    mutable default argument values
@@ -260,6 +261,58 @@ class PopitemRule(Rule):
                     ".popitem() couples behaviour to insertion order "
                     "and mutates during iteration patterns; pop an "
                     "explicit key")
+
+
+#: The replay path: the one module allowed to rebind journaled
+#: structures (it reconstructs them *from* the journal and reattaches
+#: the journal before handing them back to the firewall).
+DURABILITY_SANCTUARY = ("repro.durability.recovery",)
+
+#: Firewall attributes whose state is write-ahead journaled
+#: (:mod:`repro.durability`).  Every mutation must flow through their
+#: own methods so the journal hook fires; rebinding the object or
+#: poking its private fields silently desynchronises the journal from
+#: the live state, and the next replay resurrects the past.
+JOURNALED_ATTRS = frozenset({"dedup", "landings"})
+
+
+@register
+class JournalBypassRule(Rule):
+    id = "DUR001"
+    severity = "error"
+    description = ("Direct mutation of journaled firewall/landing state "
+                   "outside the journal API desynchronises the "
+                   "write-ahead journal from the live objects")
+
+    def applies_to(self, module: str) -> bool:
+        return module not in DURABILITY_SANCTUARY
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if isinstance(node, (ast.Assign, ast.AugAssign,
+                                 ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and \
+                            target.attr in JOURNALED_ATTRS:
+                        yield self.finding(
+                            ctx, target,
+                            f"rebinding .{target.attr} replaces a "
+                            f"journaled structure without its journal "
+                            f"attachment; go through "
+                            f"repro.durability.recovery (replay) or "
+                            f"mutate via the object's own methods")
+            elif isinstance(node, ast.Attribute) and \
+                    node.attr.startswith("_") and \
+                    isinstance(node.value, ast.Attribute) and \
+                    node.value.attr in JOURNALED_ATTRS:
+                yield self.finding(
+                    ctx, node,
+                    f".{node.value.attr}.{node.attr} reaches into a "
+                    f"journaled structure's private state; mutations "
+                    f"there never hit the write-ahead journal — use "
+                    f"the public (journaling) API")
 
 
 def _is_broad_handler(ctx: LintContext,

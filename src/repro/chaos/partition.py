@@ -110,6 +110,7 @@ def run_partition(seed: int = 7, scenario: str = "partition-storm",
     cluster, worker_names = build_chaos_cluster(workers)
     fault_plan = named_partition_plan(scenario, worker_names)
     engine = ChaosEngine(cluster, fault_plan, seed=seed)
+    auditor = cluster.enable_conservation()
     home = cluster.node(HOME_HOST)
     cabinet_uri = str(AgentUri(host=HOME_HOST, name="ag_cabinet"))
     for node in cluster.nodes.values():
@@ -235,6 +236,7 @@ def run_partition(seed: int = 7, scenario: str = "partition-storm",
             "timed_out": timed_out,
         },
         "exactly_once": exactly_once,
+        "conservation": auditor.report(),
         "delivery": delivery,
         "rear_guard": guard.stats(),
         "flight_recorder": {

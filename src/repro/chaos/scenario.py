@@ -159,6 +159,7 @@ def run_chaos(seed: int = 7, plan: str = "mid-crash",
     cluster, worker_names = build_chaos_cluster(workers)
     fault_plan = named_plan(plan, worker_names)
     engine = ChaosEngine(cluster, fault_plan, seed=seed)
+    auditor = cluster.enable_conservation()
     home = cluster.node(HOME_HOST)
     cabinet_uri = str(AgentUri(host=HOME_HOST, name="ag_cabinet"))
 
@@ -238,6 +239,10 @@ def run_chaos(seed: int = 7, plan: str = "mid-crash",
             "failures": failures,
             "unreachable_hosts": unreachable,
         },
+        # Agent conservation: every instance ever spawned must end in a
+        # terminal bucket.  Without recovery a crashed host legitimately
+        # loses the agent, so ``holds`` is evidence, not a gate, here.
+        "conservation": auditor.report(),
         "rear_guard": guard.stats(),
         # Post-mortems: every host crash freezes that host's flight
         # recorder (admissions, rejections, breaker flips, hops) into a

@@ -229,26 +229,45 @@ def _print_name_table(names, descriptions) -> None:
         print(f"  {name:<{width}}  {descriptions.get(name, '')}")
 
 
+def _run_named_scenario(command: str, noun: str, names, descriptions,
+                        wants_list: bool, run, render, verdict,
+                        on_document=None) -> int:
+    """The shared plumbing of the named-scenario commands (``chaos``,
+    ``partition``, ``crashtest``): ``--list`` prints the name table, an
+    unknown name exits 2 with a hint, and the rendered document's
+    ``verdict`` decides the exit code."""
+    if wants_list:
+        print(f"{command} {noun}s:")
+        _print_name_table(names, descriptions)
+        return 0
+    try:
+        document = run()
+    except ValueError as exc:
+        print(f"repro {command}: {exc}", file=sys.stderr)
+        print(f"(use `repro {command} --list` to see the {noun}s)",
+              file=sys.stderr)
+        return 2
+    print(render(document))
+    if on_document is not None:
+        failure = on_document(document)
+        if failure is not None:
+            return failure
+    return 0 if verdict(document) else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos.scenario import (PLAN_DESCRIPTIONS, PLAN_NAMES,
                                       render_chaos_json, run_chaos)
 
-    if args.list:
-        print("chaos plans:")
-        _print_name_table(PLAN_NAMES, PLAN_DESCRIPTIONS)
-        return 0
-    try:
-        document = run_chaos(seed=args.seed, plan=args.plan,
-                             recovery=not args.no_recovery)
-    except ValueError as exc:
-        print(f"repro chaos: {exc}", file=sys.stderr)
-        print("(use `repro chaos --list` to see the plans)",
-              file=sys.stderr)
-        return 2
-    print(render_chaos_json(document))
-    agent = document["agent"]
-    survived = agent["sites_visited"] > 0 and not agent["timed_out"]
-    return 0 if survived else 1
+    def survived(document) -> bool:
+        agent = document["agent"]
+        return agent["sites_visited"] > 0 and not agent["timed_out"]
+
+    return _run_named_scenario(
+        "chaos", "plan", PLAN_NAMES, PLAN_DESCRIPTIONS, args.list,
+        lambda: run_chaos(seed=args.seed, plan=args.plan,
+                          recovery=not args.no_recovery),
+        render_chaos_json, survived)
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -257,19 +276,45 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                                        render_partition_json,
                                        run_partition)
 
-    if args.list:
-        print("partition scenarios:")
-        _print_name_table(SCENARIO_NAMES, SCENARIO_DESCRIPTIONS)
-        return 0
-    try:
-        document = run_partition(seed=args.seed, scenario=args.scenario)
-    except ValueError as exc:
-        print(f"repro partition: {exc}", file=sys.stderr)
-        print("(use `repro partition --list` to see the scenarios)",
-              file=sys.stderr)
-        return 2
-    print(render_partition_json(document))
-    return 0 if document["exactly_once"]["holds"] else 1
+    return _run_named_scenario(
+        "partition", "scenario", SCENARIO_NAMES, SCENARIO_DESCRIPTIONS,
+        args.list,
+        lambda: run_partition(seed=args.seed, scenario=args.scenario),
+        render_partition_json,
+        lambda document: document["exactly_once"]["holds"])
+
+
+def _cmd_crashtest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos.crashtest import (SCENARIO_DESCRIPTIONS,
+                                       SCENARIO_NAMES,
+                                       render_crashtest_json,
+                                       run_crashtest)
+
+    def dump_journal(document):
+        if not args.journal_dump:
+            return None
+        try:
+            with open(args.journal_dump, "w", encoding="utf-8") as handle:
+                sample = document["journal_sample"]
+                for record in sample["tail"]:
+                    handle.write(json.dumps(record, sort_keys=True))
+                    handle.write("\n")
+        except OSError as exc:
+            print(f"cannot write journal dump: {exc}", file=sys.stderr)
+            return 1
+        return None
+
+    return _run_named_scenario(
+        "crashtest", "scenario", SCENARIO_NAMES, SCENARIO_DESCRIPTIONS,
+        args.list,
+        lambda: run_crashtest(seed=args.seed, scenario=args.scenario),
+        render_crashtest_json,
+        # The acceptance gate: exactly-once AND agent conservation.
+        lambda document: (document["exactly_once"]["holds"] and
+                          document["conservation"]["holds"]),
+        on_document=dump_journal)
 
 
 def _cmd_overload(args: argparse.Namespace) -> int:
@@ -459,6 +504,23 @@ def build_parser() -> argparse.ArgumentParser:
     partition.add_argument("--list", action="store_true",
                            help="list the built-in scenarios and exit")
 
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="run a bare agent over crash-durable hosts; exits non-zero "
+             "unless exactly-once AND agent conservation hold")
+    crashtest.add_argument("--seed", type=int, default=7)
+    crashtest.add_argument("--scenario", default="kill-during-migration",
+                           metavar="SCENARIO",
+                           help="scenario name (see --list); an unknown "
+                                "name exits 2 with the available "
+                                "scenarios")
+    crashtest.add_argument("--list", action="store_true",
+                           help="list the built-in scenarios and exit")
+    crashtest.add_argument("--journal-dump", metavar="PATH", default="",
+                           help="also write the crashed worker's journal "
+                                "tail as JSON-lines to PATH (the CI "
+                                "artifact)")
+
     overload = sub.add_parser(
         "overload",
         help="flood one host with/without the governor; print JSON")
@@ -532,6 +594,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "partition":
         return _cmd_partition(args)
+    if args.command == "crashtest":
+        return _cmd_crashtest(args)
     if args.command == "overload":
         return _cmd_overload(args)
     if args.command == "perf":

@@ -29,6 +29,15 @@ Both structures are deliberately *not* reset by host crash: the firewall
 object survives a :meth:`~repro.firewall.firewall.Firewall.crash`, so a
 restarted host still refuses the duplicates and re-landings that the
 outage produced.
+
+On a *durable* host (PR 8) that in-process survival is no longer the
+load-bearing mechanism: both structures carry an optional ``journal``
+(a :class:`~repro.durability.journal.HostJournal`, duck-typed so this
+module stays durability-free) and append a write-ahead record for every
+state transition.  Restart-time replay rebuilds equivalent structures
+from storage alone via :meth:`to_durable` / :meth:`from_durable` plus
+record re-application — the recovery path the real-transport backend
+will need, where a process crash destroys the objects outright.
 """
 
 from __future__ import annotations
@@ -70,8 +79,21 @@ class DedupWindow:
         self.accepted = 0
         self.duplicates = 0
         self.rejected = 0
+        #: Write-ahead journal of a durable host, or None (volatile).
+        self.journal = None
 
     def observe(self, peer: str, seq: int) -> str:
+        verdict = self._observe(peer, seq)
+        if self.journal is not None:
+            # Replay re-runs ``observe`` on the restored window, so the
+            # record needs only the inputs — the verdict and every
+            # counter are recomputed identically.  Journaled *after*
+            # the mutation (atomic in virtual time) so a snapshot
+            # triggered by this record already includes it.
+            self.journal.record("dedup-observe", peer=peer, seq=seq)
+        return verdict
+
+    def _observe(self, peer: str, seq: int) -> str:
         self.offered += 1
         if not isinstance(seq, int) or seq < 1:
             self.rejected += 1
@@ -107,6 +129,8 @@ class DedupWindow:
             seen.discard(seq)
             self.accepted -= 1
             self.rejected += 1
+            if self.journal is not None:
+                self.journal.record("dedup-forget", peer=peer, seq=seq)
 
     def window_size(self, peer: str) -> int:
         return len(self._seen.get(peer, ()))
@@ -126,6 +150,36 @@ class DedupWindow:
                              "window": len(seen)}
                       for peer, seen in sorted(self._seen.items())},
         }
+
+    # -- durability ----------------------------------------------------------------
+
+    def to_durable(self) -> dict:
+        """The full window as canonical JSON-safe state (snapshots)."""
+        return {
+            "capacity": self.capacity,
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "duplicates": self.duplicates,
+            "rejected": self.rejected,
+            "max_seen": {peer: self._max_seen[peer]
+                         for peer in sorted(self._max_seen)},
+            "seen": {peer: sorted(seqs)
+                     for peer, seqs in sorted(self._seen.items())},
+        }
+
+    @classmethod
+    def from_durable(cls, state: dict) -> "DedupWindow":
+        window = cls(capacity=int(state.get(
+            "capacity", DEFAULT_WINDOW_CAPACITY)))
+        window.offered = int(state.get("offered", 0))
+        window.accepted = int(state.get("accepted", 0))
+        window.duplicates = int(state.get("duplicates", 0))
+        window.rejected = int(state.get("rejected", 0))
+        window._max_seen = {peer: int(value) for peer, value in
+                            state.get("max_seen", {}).items()}
+        window._seen = {peer: {int(s) for s in seqs} for peer, seqs in
+                        state.get("seen", {}).items()}
+        return window
 
 
 class LandingRegistry:
@@ -147,6 +201,8 @@ class LandingRegistry:
         self.tombstone_refusals = 0
         self.aborts = 0
         self.evicted = 0
+        #: Write-ahead journal of a durable host, or None (volatile).
+        self.journal = None
 
     def acquire(self, landing_id: str) -> Tuple[str, Optional[str]]:
         """Claim a landing slot; returns ``(state, info)``.
@@ -159,9 +215,16 @@ class LandingRegistry:
         """
         if landing_id in self._tombstones:
             self.tombstone_refusals += 1
+            if self.journal is not None:
+                # Decided-landing observations are journaled so the
+                # suppression counters survive replay (the verdict is
+                # recomputed by re-running ``acquire``).
+                self.journal.record("landing-observe", id=landing_id)
             return "tombstoned", self._tombstones[landing_id]
         if landing_id in self._launched:
             self.duplicate_landings += 1
+            if self.journal is not None:
+                self.journal.record("landing-observe", id=landing_id)
             return "launched", self._launched[landing_id]
         if landing_id in self._pending:
             return "pending", None
@@ -171,12 +234,17 @@ class LandingRegistry:
     def release(self, landing_id: str) -> None:
         """Launch failed: free the slot so a retry may try again."""
         self._pending.discard(landing_id)
+        if self.journal is not None:
+            self.journal.record("landing-release", id=landing_id)
 
     def record_launch(self, landing_id: str, agent_uri: str) -> None:
         self._pending.discard(landing_id)
         self._launched[landing_id] = agent_uri
         self.launches += 1
         self._trim(self._launched)
+        if self.journal is not None:
+            self.journal.record("landing-launch", id=landing_id,
+                                uri=agent_uri)
 
     def tombstone(self, landing_id: str,
                   reason: str = "aborted") -> Optional[str]:
@@ -190,7 +258,18 @@ class LandingRegistry:
         uri = self._launched.pop(landing_id, None)
         self._tombstones[landing_id] = reason
         self._trim(self._tombstones)
+        if self.journal is not None:
+            self.journal.record("landing-tombstone", id=landing_id,
+                                reason=reason)
         return uri
+
+    def forget_launch(self, landing_id: str) -> None:
+        """Durability-API transition: drop a landing from the launched
+        table *without* tombstoning it, so journal replay can re-land
+        the same id when it resurrects the instance that crashed."""
+        self._launched.pop(landing_id, None)
+        if self.journal is not None:
+            self.journal.record("landing-forget", id=landing_id)
 
     def crash_all(self, reason: str = "host-crash") -> int:
         """Host crash: every launched/pending landing becomes a
@@ -233,6 +312,44 @@ class LandingRegistry:
             "tombstones_now": len(self._tombstones),
             "pending_now": len(self._pending),
         }
+
+    # -- durability ----------------------------------------------------------------
+
+    def to_durable(self) -> dict:
+        """Canonical JSON-safe state for snapshots.
+
+        The pending set is deliberately volatile: a launch that was in
+        flight when the snapshot (or crash) happened is resolved by the
+        origin's retry, and persisting it would leave the retry waiting
+        forever on a slot nobody holds.
+        """
+        return {
+            "capacity": self.capacity,
+            "launches": self.launches,
+            "duplicate_landings": self.duplicate_landings,
+            "tombstone_refusals": self.tombstone_refusals,
+            "aborts": self.aborts,
+            "evicted": self.evicted,
+            "launched": {lid: self._launched[lid]
+                         for lid in sorted(self._launched)},
+            "tombstones": {lid: self._tombstones[lid]
+                           for lid in sorted(self._tombstones)},
+        }
+
+    @classmethod
+    def from_durable(cls, state: dict) -> "LandingRegistry":
+        registry = cls(capacity=int(state.get(
+            "capacity", LANDING_CAPACITY)))
+        registry.launches = int(state.get("launches", 0))
+        registry.duplicate_landings = int(state.get(
+            "duplicate_landings", 0))
+        registry.tombstone_refusals = int(state.get(
+            "tombstone_refusals", 0))
+        registry.aborts = int(state.get("aborts", 0))
+        registry.evicted = int(state.get("evicted", 0))
+        registry._launched = dict(state.get("launched", {}))
+        registry._tombstones = dict(state.get("tombstones", {}))
+        return registry
 
 
 # -- wire-only folder carriers ----------------------------------------------

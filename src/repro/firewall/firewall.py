@@ -163,6 +163,11 @@ class Firewall:
         #: produced *by* the outage are still suppressed afterwards.
         self.dedup = DedupWindow()
         self.landings = LandingRegistry()
+        #: Crash-durability controller (a
+        #: :class:`repro.durability.recovery.HostDurability`) when this
+        #: host journals its delivery state; installed from outside so
+        #: the firewall never imports the durability package.
+        self.durability = None
         #: Next outbound sequence per destination host (stamped once per
         #: message in :meth:`_forward_remote`; retries reuse the stamp).
         self._send_seqs: Dict[str, int] = {}
@@ -247,17 +252,53 @@ class Firewall:
             deliver_fn=deliver_fn, start_time=self.kernel.now,
             process=process)
         self.registry.add(registration)
+        auditor = getattr(self.kernel, "auditor", None)
+        if auditor is not None:
+            auditor.spawned(self.host.name, agent_id.instance, name,
+                            principal)
         self._count("fw.registrations", vm=vm_name)
         self.log(f"registered {agent_id} principal={principal} vm={vm_name}")
         self._flush_pending_for(registration)
         return registration
 
-    def unregister_agent(self, agent_id: AgentId) -> bool:
+    def unregister_agent(self, agent_id: AgentId,
+                         reason: str = "finished") -> bool:
         registration = self.registry.remove(agent_id)
         if registration is not None:
-            self.log(f"unregistered {agent_id}")
+            auditor = getattr(self.kernel, "auditor", None)
+            if auditor is not None:
+                auditor.ended(agent_id.instance, reason)
+            if self.durability is not None:
+                self.durability.note_depart(agent_id.instance, reason)
+            self.log(f"unregistered {agent_id} ({reason})")
             return True
         return False
+
+    # -- durability delegation (journaled hosts only) ----------------------------------
+
+    def journal_arrival(self, registration: Registration, briefcase,
+                        landing: Optional[str], vm_name: str) -> None:
+        """A cleaned briefcase became resident: journal it so replay
+        can relaunch the agent after a host crash."""
+        if self.durability is not None:
+            self.durability.note_arrival(registration, briefcase,
+                                         landing, vm_name)
+
+    def journal_depart_intent(self, registration: Registration,
+                              landing: Optional[str]) -> None:
+        auditor = getattr(self.kernel, "auditor", None)
+        if auditor is not None:
+            auditor.departing(registration.instance, landing)
+        if self.durability is not None:
+            self.durability.note_depart_intent(registration.instance,
+                                               landing)
+
+    def journal_depart_failed(self, registration: Registration) -> None:
+        auditor = getattr(self.kernel, "auditor", None)
+        if auditor is not None:
+            auditor.depart_failed(registration.instance)
+        if self.durability is not None:
+            self.durability.note_depart_failed(registration.instance)
 
     def _flush_pending_for(self, registration: Registration) -> None:
         for message in self.pending.claim(
@@ -649,11 +690,14 @@ class Firewall:
         ``host-crash`` dead letters instead of silently vanishing.
         """
         killed = 0
+        auditor = getattr(self.kernel, "auditor", None)
         for registration in self.registry.all():
             process = registration.process
             if process is not None and getattr(process, "is_alive", False):
                 process.interrupt(reason)
             self.registry.remove(registration.agent_id)
+            if auditor is not None:
+                auditor.crashed(registration.instance, self.host.name)
             killed += 1
         records = self.pending.crash_flush()
         # Landings that ran here are gone with their processes: a
@@ -765,6 +809,12 @@ class Firewall:
         if process is not None and getattr(process, "is_alive", False):
             process.interrupt("killed-by-admin")
         self.registry.remove(registration.agent_id)
+        auditor = getattr(self.kernel, "auditor", None)
+        if auditor is not None:
+            # A deliberate kill is a decision, not a conservation loss.
+            auditor.ended(registration.instance, "killed")
+        if self.durability is not None:
+            self.durability.note_depart(registration.instance, "killed")
         self.log(f"killed {registration.agent_id}")
         return True
 

@@ -73,6 +73,9 @@ class _Pending:
     span: object = None
     #: Times this message has already been retransmitted after dying.
     retransmits: int = 0
+    #: Per-queue monotonic park id; the write-ahead journal keys park /
+    #: claim / dead-letter records by it.  0 when unjournaled.
+    park_id: int = 0
 
 
 @dataclass
@@ -84,6 +87,7 @@ class DeadLetter:
     died_at: float
     reason: str
     retransmits: int = 0
+    park_id: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -125,6 +129,13 @@ class PendingQueue:
         self.log = log
         self._pending: List[_Pending] = []
         self._bytes = 0
+        #: Optional write-ahead journal of a durable host (installed by
+        #: ``repro.durability``; duck-typed so this module never
+        #: imports that package).
+        self.journal = None
+        #: Next park id (monotonic across restarts — replay re-anchors
+        #: it from the journal).
+        self.park_seq = 1
         self.expired_count = 0
         self.dead_letters: List[DeadLetter] = []
         self.dead_letter_evictions = 0
@@ -195,6 +206,9 @@ class PendingQueue:
         if telemetry.enabled:
             telemetry.metrics.inc("fw.queue_rejected", host=self.host,
                                   policy=self.overflow)
+        if self.journal is not None:
+            self.journal.record("queue-reject",
+                                target=str(message.target))
         raise QueueFullError(
             f"pending queue at {self.host or '?'} is full "
             f"({len(self._pending)} msgs / {self._bytes} bytes; "
@@ -243,12 +257,18 @@ class PendingQueue:
             enqueued_at=self.kernel.now,
             expires_at=self.kernel.now + message.queue_timeout,
             wire_bytes=wire_bytes,
-            retransmits=retransmits)
+            retransmits=retransmits,
+            park_id=self.park_seq)
+        self.park_seq += 1
         entry.span = self.kernel.telemetry.tracer.begin(
             "fw.queue_wait", category="fw", track=f"fw:{self.host}",
             target=str(message.target), **link_args(message.trace))
         self._pending.append(entry)
         self._bytes += wire_bytes
+        if self.journal is not None:
+            self.journal.record_message(
+                "queue-park", message, park=entry.park_id,
+                expires_at=entry.expires_at, retransmits=retransmits)
         self._update_watermarks()
         self.kernel.spawn(self._expiry_watch(entry),
                           name=f"queue-ttl:{message.target}")
@@ -267,12 +287,24 @@ class PendingQueue:
         record = DeadLetter(message=entry.message,
                             enqueued_at=entry.enqueued_at,
                             died_at=self.kernel.now, reason=reason,
-                            retransmits=entry.retransmits)
+                            retransmits=entry.retransmits,
+                            park_id=entry.park_id)
         self.dead_letters.append(record)
+        if self.journal is not None:
+            self.journal.record("queue-dead-letter", park=entry.park_id,
+                                reason=reason)
+        auditor = getattr(self.kernel, "auditor", None)
+        if auditor is not None and entry.message.landing_id:
+            # A migration transport died in this queue: the departing
+            # agent it carried is accounted for, not silently lost.
+            auditor.transport_dead_lettered(entry.message.landing_id)
         telemetry = self.kernel.telemetry
         if len(self.dead_letters) > self.dead_letter_limit:
             trimmed = self.dead_letters.pop(0)
             self.dead_letter_evictions += 1
+            if self.journal is not None:
+                self.journal.record("dead-letter-evict",
+                                    park=trimmed.park_id)
             if telemetry.enabled:
                 telemetry.metrics.inc("fw.dead_letter_evictions",
                                       host=self.host)
@@ -308,6 +340,9 @@ class PendingQueue:
                 claimed.append(entry.message)
                 self.claimed += 1
                 self._bytes -= entry.wire_bytes
+                if self.journal is not None:
+                    self.journal.record("queue-claim",
+                                        park=entry.park_id)
                 self._observe_wait(entry, "delivered")
             else:
                 remaining.append(entry)
@@ -336,6 +371,9 @@ class PendingQueue:
         for record in self.dead_letters:
             if record.retransmits < max_retransmits:
                 eligible.append(record)
+                if self.journal is not None:
+                    self.journal.record("dead-letter-take",
+                                        park=record.park_id)
             else:
                 remaining.append(record)
         self.dead_letters = remaining
@@ -343,6 +381,38 @@ class PendingQueue:
 
     def dead_letter_records(self) -> List[dict]:
         return [record.to_dict() for record in self.dead_letters]
+
+    # -- durability ------------------------------------------------------------------
+
+    def parked_entries(self) -> List[_Pending]:
+        """The open parks, oldest first (durable-snapshot input)."""
+        return list(self._pending)
+
+    def restore_durable(self, counters: dict, dead_letters: List[DeadLetter],
+                        park_seq: int) -> None:
+        """Durability-API transition: replace this queue's state with the
+        image replayed from a write-ahead journal.
+
+        The process that owned the live parks died with the host; replay
+        turns them into ``host-crash`` dead letters, so the restored
+        queue starts empty but with the ledger and the accounting
+        counters intact.  Only :mod:`repro.durability.recovery` calls
+        this (lint rule DUR001 guards other writers).
+        """
+        self._pending = []
+        self._bytes = 0
+        self.offered = int(counters.get("offered", 0))
+        self.accepted = int(counters.get("accepted", 0))
+        self.rejected = int(counters.get("rejected", 0))
+        self.claimed = int(counters.get("claimed", 0))
+        self.expired_count = int(counters.get("expired", 0))
+        self.crashed = int(counters.get("crashed", 0))
+        self.evicted = int(counters.get("evicted", 0))
+        self.dead_letter_evictions = int(
+            counters.get("dead_letter_evictions", 0))
+        self.dead_letters = list(dead_letters)
+        self.park_seq = max(self.park_seq, int(park_seq))
+        self._update_watermarks()
 
     def peek_targets(self) -> List[AgentUri]:
         return [entry.message.target for entry in self._pending]

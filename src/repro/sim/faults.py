@@ -90,6 +90,57 @@ class FaultEvent:
         return body
 
 
+@dataclass(frozen=True)
+class StorageFaults:
+    """Seeded crash-time storage faults for a host's virtual disk.
+
+    These model the three classic ways a write-ahead journal gets hurt
+    by a real crash:
+
+    - **slow fsync** — with ``slow_fsync_probability`` an fsync's data
+      only becomes durable ``slow_fsync_delay`` seconds later (the
+      device acknowledged out of its volatile cache); a crash inside
+      that window loses the "synced" suffix;
+    - **torn tail** — with ``torn_tail_probability`` the first write
+      lost by a crash survives as a partial prefix (a write torn across
+      sectors) instead of vanishing cleanly;
+    - **lost suffix** — with ``lost_suffix_probability`` the crash
+      additionally eats up to ``lost_suffix_max_bytes`` of *durable*
+      tail (firmware that lied about an earlier fsync).
+
+    All rolls happen on the injector's forked ``storage`` stream, so
+    enabling storage faults never perturbs the drop/corrupt/delivery
+    sequences of an existing plan.
+    """
+
+    torn_tail_probability: float = 0.0
+    lost_suffix_probability: float = 0.0
+    slow_fsync_probability: float = 0.0
+    slow_fsync_delay: float = 0.2
+    lost_suffix_max_bytes: int = 64
+
+    def __post_init__(self):
+        for p in (self.torn_tail_probability,
+                  self.lost_suffix_probability,
+                  self.slow_fsync_probability):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("storage fault probabilities must be "
+                                 "in [0, 1]")
+        if self.slow_fsync_delay < 0:
+            raise ValueError("slow_fsync_delay must be non-negative")
+        if self.lost_suffix_max_bytes < 1:
+            raise ValueError("lost_suffix_max_bytes must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "torn_tail_probability": self.torn_tail_probability,
+            "lost_suffix_probability": self.lost_suffix_probability,
+            "slow_fsync_probability": self.slow_fsync_probability,
+            "slow_fsync_delay": self.slow_fsync_delay,
+            "lost_suffix_max_bytes": self.lost_suffix_max_bytes,
+        }
+
+
 @dataclass
 class FaultPlan:
     """A deterministic schedule of faults plus message-level fault rates."""
@@ -105,6 +156,8 @@ class FaultPlan:
     wire_corrupt_probability: float = 0.0
     #: Jitter range (seconds) for duplicated/reordered deliveries.
     reorder_delay: Tuple[float, float] = (0.05, 0.5)
+    #: Crash-time storage faults (``None`` = perfectly honest disks).
+    storage: Optional[StorageFaults] = None
 
     def __post_init__(self):
         for p in (self.drop_probability, self.corrupt_probability,
@@ -198,6 +251,7 @@ class FaultPlan:
             "reorder_probability": self.reorder_probability,
             "wire_corrupt_probability": self.wire_corrupt_probability,
             "reorder_delay": list(self.reorder_delay),
+            "storage": self.storage.to_dict() if self.storage else None,
             "events": [e.to_dict() for e in self.sorted_events()],
         }
 
@@ -260,6 +314,8 @@ class FaultInjector:
         #: corruption) roll on a *forked* stream so turning them on never
         #: shifts the drop/corrupt sequence of an existing plan.
         self.delivery_rng: RandomStream = self.rng.fork("delivery")
+        #: Storage faults roll on their own fork for the same reason.
+        self.storage_rng: RandomStream = self.rng.fork("storage")
         self.telemetry = telemetry
         self.rolls = 0
         self.dropped = 0
@@ -268,6 +324,9 @@ class FaultInjector:
         self.duplicated = 0
         self.reordered = 0
         self.wire_corrupted = 0
+        self.slow_fsyncs = 0
+        self.torn_tails = 0
+        self.lost_suffixes = 0
 
     def _count(self, kind: str, src: str = "", dst: str = "") -> None:
         if self.telemetry is not None and self.telemetry.enabled:
@@ -328,6 +387,51 @@ class FaultInjector:
                     self.delivery_rng.uniform(*plan.reorder_delay))
         return None
 
+    def fsync_delay(self, host: str) -> float:
+        """Extra seconds before this fsync's data is actually durable.
+
+        Normally 0.0 (an honest fsync); with the slow-fsync fault the
+        write sits in the device's volatile cache for the configured
+        delay — a crash inside the window loses it.
+        """
+        faults = self.plan.storage
+        if faults is None or not faults.slow_fsync_probability:
+            return 0.0
+        if self.storage_rng.chance(faults.slow_fsync_probability):
+            self.slow_fsyncs += 1
+            self._count("slow-fsync", host)
+            return faults.slow_fsync_delay
+        return 0.0
+
+    def storage_crash_verdict(self, host: str, first_lost_len: int,
+                              durable_len: int
+                              ) -> Tuple[Optional[int], int]:
+        """Roll the crash-time faults for one file of a crashing disk.
+
+        ``first_lost_len`` is the size of the first non-durable write
+        (the torn-tail candidate); ``durable_len`` the durable bytes
+        before the crash.  Returns ``(torn_keep, lost_suffix)``: the
+        number of bytes of the torn write that survive as a prefix
+        (``None`` = clean loss), and the durable tail bytes destroyed.
+        """
+        faults = self.plan.storage
+        torn_keep: Optional[int] = None
+        lost_suffix = 0
+        if faults is None:
+            return torn_keep, lost_suffix
+        if first_lost_len > 1 and faults.torn_tail_probability and \
+                self.storage_rng.chance(faults.torn_tail_probability):
+            torn_keep = self.storage_rng.randint(1, first_lost_len - 1)
+            self.torn_tails += 1
+            self._count("torn-tail", host)
+        if durable_len > 0 and faults.lost_suffix_probability and \
+                self.storage_rng.chance(faults.lost_suffix_probability):
+            lost_suffix = self.storage_rng.randint(
+                1, min(faults.lost_suffix_max_bytes, durable_len))
+            self.lost_suffixes += 1
+            self._count("lost-suffix", host)
+        return torn_keep, lost_suffix
+
     def flip_bit(self, data: bytes) -> bytes:
         """Deterministically corrupt one bit of a wire frame."""
         if not data:
@@ -343,4 +447,7 @@ class FaultInjector:
                 "delivery_rolls": self.delivery_rolls,
                 "duplicated": self.duplicated,
                 "reordered": self.reordered,
-                "wire_corrupted": self.wire_corrupted}
+                "wire_corrupted": self.wire_corrupted,
+                "slow_fsyncs": self.slow_fsyncs,
+                "torn_tails": self.torn_tails,
+                "lost_suffixes": self.lost_suffixes}

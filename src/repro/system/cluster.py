@@ -99,6 +99,35 @@ class TaxCluster:
         link; ``None`` removes them."""
         self.network.configure_breakers(config)
 
+    # -- durability --------------------------------------------------------------------------
+
+    def enable_durability(self, injector=None,
+                          snapshot_interval: Optional[int] = None):
+        """Give every node a crash-durable store + write-ahead journal.
+
+        ``injector`` (a :class:`~repro.sim.faults.FaultInjector`) rolls
+        the seeded storage faults; pass the scenario's injector so crash
+        damage shares the run's seed.  Returns the per-host
+        :class:`~repro.durability.recovery.HostDurability` controllers,
+        keyed by host name.
+        """
+        from repro.durability.recovery import HostDurability
+        kwargs = {}
+        if snapshot_interval is not None:
+            kwargs["snapshot_interval"] = snapshot_interval
+        return {name: HostDurability(self.nodes[name], injector=injector,
+                                     **kwargs)
+                for name in sorted(self.nodes)}
+
+    def enable_conservation(self):
+        """Install the system-wide agent-conservation auditor
+        (:class:`~repro.durability.conservation.ConservationAuditor`)
+        on the kernel and return it."""
+        from repro.durability.conservation import ConservationAuditor
+        auditor = ConservationAuditor()
+        self.kernel.auditor = auditor
+        return auditor
+
     # -- addressing --------------------------------------------------------------------------
 
     def vm_uri(self, host_name: str, vm_name: str = "vm_python") -> AgentUri:

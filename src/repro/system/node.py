@@ -58,6 +58,9 @@ class TaxNode:
             directory=directory, site_ordinal=site_ordinal)
         self.vms: Dict[str, VirtualMachine] = {}
         self.services: Dict[str, ServiceAgent] = {}
+        #: Crash-durability controller (installed by
+        #: ``cluster.enable_durability()``); ``None`` on volatile hosts.
+        self.durability = None
         self._booted = False
         #: Crash state: False between crash() and restart().  Wrappers
         #: and services consult this to stay silent while "down".
@@ -113,6 +116,11 @@ class TaxNode:
         if not self.alive:
             return 0
         self.alive = False
+        if self.durability is not None:
+            # Freeze the journal and apply storage damage *first*: the
+            # queue flushes and registration kills below are crash-time
+            # bookkeeping that must not look durable.
+            self.durability.on_crash()
         self.host.set_up(False)
         telemetry = self.kernel.telemetry
         self._down_span = telemetry.tracer.begin(
@@ -147,6 +155,11 @@ class TaxNode:
             vm.boot()
         for service in self.services.values():
             service.boot()
+        if self.durability is not None:
+            # Replay the journal before retransmitting: the restored
+            # dead-letter ledger (not the crashed process's memory) is
+            # what retransmission draws from on a durable host.
+            self.durability.on_restart()
         retransmitted = self.firewall.retransmit_dead_letters()
         telemetry = self.kernel.telemetry
         if telemetry.enabled:

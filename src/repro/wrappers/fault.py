@@ -20,6 +20,7 @@ from repro.core.briefcase import Briefcase
 from repro.core.errors import MigrationError, TaxError
 from repro.core.uri import AgentUri
 from repro.core import wellknown
+from repro.obs.propagation import link_args
 from repro.sim.network import NetworkError
 from repro.wrappers.base import AgentWrapper
 
@@ -40,12 +41,20 @@ class CheckpointWrapper(AgentWrapper):
 
     kind = "checkpoint"
 
+    #: Lifecycle points ``on`` may name.
+    VALID_POINTS = ("arrive", "depart", "send")
+
     def __init__(self, config: Optional[dict] = None):
         super().__init__(config)
         if "cabinet" not in self.config or "drawer" not in self.config:
             raise ValueError(
                 "checkpoint wrapper needs 'cabinet' and 'drawer' config")
         self.points = tuple(self.config.get("on", ("arrive", "depart")))
+        unknown = sorted(set(self.points) - set(self.VALID_POINTS))
+        if unknown:
+            raise ValueError(
+                f"checkpoint wrapper: unknown point(s) {unknown} in 'on' "
+                f"(valid: {list(self.VALID_POINTS)})")
         self.checkpoints_taken = 0
 
     def _checkpoint(self, ctx, point: str) -> None:
@@ -132,6 +141,15 @@ def recover(ctx, cabinet: "str | AgentUri", drawer: str,
     telemetry = ctx.kernel.telemetry
     if telemetry.enabled:
         telemetry.metrics.inc("recovery.relaunches", drawer=drawer)
+        # The restore is an event in the recovering context's causal
+        # story: link it so the trace shows which itinerary pulled the
+        # checkpoint back out of the cabinet.
+        telemetry.metrics.inc("recovery.checkpoint_restored",
+                              drawer=drawer)
+        telemetry.tracer.instant(
+            "recovery.checkpoint_restored", category="fault",
+            track=f"host:{ctx.host_name}", drawer=drawer, agent=uri,
+            **link_args(ctx._current_trace()))
         telemetry.tracer.instant(
             "recovery.relaunch", category="fault",
             track=f"host:{ctx.host_name}", drawer=drawer, agent=uri)

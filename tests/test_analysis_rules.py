@@ -32,8 +32,8 @@ def rule_lines(findings, rule):
 def test_rule_pack_registered():
     ids = all_rule_ids()
     assert ids == ("DET001", "DET002", "DET003", "DET004", "DET005",
-                   "DET006", "ERR001", "KER001", "MUT001", "MUT002",
-                   "OBS001")
+                   "DET006", "DUR001", "ERR001", "KER001", "MUT001",
+                   "MUT002", "OBS001")
     assert len(RULES) == len(ids)
 
 
@@ -80,6 +80,22 @@ def test_det006_popitem():
     findings = lint_file(CASES, "det006_popitem.py")
     assert rule_lines(findings, "DET006") == [5]
     assert all(f.rule == "DET006" for f in findings)
+
+
+def test_dur001_journal_bypass():
+    findings = lint_file(CASES, "dur001_journal_bypass.py")
+    assert rule_lines(findings, "DUR001") == [6, 7, 11, 12]
+    assert all(f.rule == "DUR001" for f in findings)
+
+
+def test_dur001_recovery_module_exempt():
+    source = "firewall.dedup = image.dedup\n"
+    analyzer = Analyzer()
+    assert analyzer.analyze_source(
+        source, module="repro.durability.recovery") == []
+    outside = analyzer.analyze_source(
+        source, module="repro.firewall.firewall")
+    assert [f.rule for f in outside] == ["DUR001"]
 
 
 def test_err001_broad_except():

@@ -103,7 +103,9 @@ class TestFaultInjector:
         assert injector.stats() == {"rolls": 20, "dropped": 0,
                                     "corrupted": 0, "delivery_rolls": 0,
                                     "duplicated": 0, "reordered": 0,
-                                    "wire_corrupted": 0}
+                                    "wire_corrupted": 0,
+                                    "slow_fsyncs": 0, "torn_tails": 0,
+                                    "lost_suffixes": 0}
 
     def test_accepts_prebuilt_stream(self):
         plan = FaultPlan(drop_probability=1.0)
