@@ -24,6 +24,7 @@ KER001    scheduling primitives bypassing the simulation kernel
 MUT001    mutable default argument values
 MUT002    event/message subclasses without ``__slots__``
 OBS001    telemetry backends constructed outside the facade
+OBS002    module-global telemetry state (leaks across in-process runs)
 ========  ==========================================================
 
 See ``docs/static-analysis.md`` for the catalogue with rationale and
@@ -524,6 +525,48 @@ class TelemetryFacadeRule(Rule):
                     f"recorded here never reach exports and ignore "
                     f"enable()/disable(); go through the Telemetry "
                     f"facade (kernel.telemetry)")
+
+
+#: Constructors whose instances accumulate run state (peak-watermark
+#: gauges, counter totals, span lists, flight-recorder rings).  Bound at
+#: module scope they outlive every run in the process.
+TELEMETRY_STATE_TARGETS = frozenset({
+    "Telemetry",
+    "repro.obs.Telemetry",
+    "repro.obs.telemetry.Telemetry",
+    "FlightRecorder",
+    "repro.obs.FlightRecorder",
+    "repro.obs.flightrec.FlightRecorder",
+}) | TELEMETRY_BACKENDS
+
+
+@register
+class ModuleGlobalTelemetryRule(Rule):
+    id = "OBS002"
+    severity = "error"
+    description = ("Telemetry state bound at module scope survives "
+                   "across in-process runs: later runs report earlier "
+                   "runs' peaks and totals")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = stmt.value
+            else:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            target = _call_target(ctx, value)
+            if target in TELEMETRY_STATE_TARGETS:
+                short = target.rsplit(".", 1)[-1]
+                yield self.finding(
+                    ctx, stmt,
+                    f"module-global {short} accumulates state across "
+                    f"every run in the process (cumulative registry "
+                    f"leak); construct one per run, or call "
+                    f"telemetry.reset() at run start")
 
 
 def all_rule_ids() -> Tuple[str, ...]:

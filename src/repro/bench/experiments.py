@@ -915,6 +915,14 @@ EXPERIMENTS = {
 }
 
 
+#: Experiments whose driver takes a ``seed`` kwarg (the rest are pure
+#: functions of their structural parameters).
+SEEDED_EXPERIMENTS = frozenset({
+    "E1", "E2", "E3", "E4", "E5", "A1", "D1", "F3", "G1", "M1", "R1",
+    "R2", "R3",
+})
+
+
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentReport:
     try:
         runner = EXPERIMENTS[experiment_id.upper()]

@@ -65,7 +65,17 @@ from repro.sim.eventloop import Kernel
 from repro.sim.network import Network
 
 __all__ = ["run_perf", "render_semantics_json", "fast_paths",
-           "make_codec_workload", "build_document"]
+           "make_codec_workload", "build_document",
+           "build_profile_document", "semantics_ok",
+           "PROFILE_NAMES", "PROFILE_DESCRIPTIONS"]
+
+PROFILE_NAMES = ("full", "quick")
+
+PROFILE_DESCRIPTIONS = {
+    "full": "the full workloads and repeat counts (the tracked "
+            "BENCH_perf.json numbers)",
+    "quick": "smaller workloads / fewer repeats (the CI smoke)",
+}
 
 
 @contextmanager
@@ -559,34 +569,58 @@ def render_semantics_json(document: Dict) -> str:
     return _canonical(document["semantics"])
 
 
+def build_profile_document(seed: int = 2000, profile: str = "full",
+                           repeats: int = 5) -> Dict:
+    """Run the suite under a named profile; an unknown profile raises
+    ``ValueError`` (the shared ``--list``/unknown-name CLI contract)."""
+    if profile not in PROFILE_NAMES:
+        raise ValueError(f"unknown perf profile {profile!r} "
+                         f"(have {list(PROFILE_NAMES)})")
+    if profile == "quick":
+        return build_document(seed=seed, repeats=max(2, repeats // 2),
+                              inner=5, kernel_events=10_000,
+                              e1_repeats=1)
+    return build_document(seed=seed, repeats=repeats)
+
+
+def print_medians(document: Dict, stream=None) -> None:
+    """The human-readable medians table (stderr on the CLI)."""
+    import sys
+
+    stream = stream or sys.stderr
+    for name, row in document["benchmarks"].items():
+        print(f"{name:22s} baseline {row['baseline_median_s']*1e3:9.2f}ms"
+              f"  fast {row['fast_median_s']*1e3:9.2f}ms"
+              f"  speedup {row['speedup']:5.2f}x", file=stream)
+    print(f"semantics: {'ok' if semantics_ok(document) else 'MISMATCH'} "
+          f"({document['wall_seconds']:.1f}s wall)", file=stream)
+
+
+def write_document(document: Dict, json_path: str) -> None:
+    """Write the full timings document (raises ``OSError`` on failure)."""
+    with open(json_path, "w", encoding="utf-8") as handle:
+        handle.write(_canonical(document) + "\n")
+
+
 def run_perf(seed: int = 2000, repeats: int = 5, quick: bool = False,
              json_path: Optional[str] = None) -> int:
-    """CLI entry: run the suite, write ``json_path``, print semantics.
+    """Library entry: run the suite, write ``json_path``, print semantics.
 
     stdout carries only the canonical semantics JSON (byte-identical
     across runs with the same seed — CI diffs it); the human-readable
     medians table goes to stderr.  Returns a non-zero exit code if any
-    fast path changed observable behaviour.
+    fast path changed observable behaviour.  (``repro perf`` routes the
+    same pieces through the shared named-scenario CLI plumbing.)
     """
     import sys
 
-    if quick:
-        document = build_document(seed=seed, repeats=max(2, repeats // 2),
-                                  inner=5, kernel_events=10_000,
-                                  e1_repeats=1)
-    else:
-        document = build_document(seed=seed, repeats=repeats)
-    for name, row in document["benchmarks"].items():
-        print(f"{name:22s} baseline {row['baseline_median_s']*1e3:9.2f}ms"
-              f"  fast {row['fast_median_s']*1e3:9.2f}ms"
-              f"  speedup {row['speedup']:5.2f}x", file=sys.stderr)
+    document = build_profile_document(
+        seed=seed, profile="quick" if quick else "full", repeats=repeats)
+    print_medians(document)
     ok = semantics_ok(document)
-    print(f"semantics: {'ok' if ok else 'MISMATCH'} "
-          f"({document['wall_seconds']:.1f}s wall)", file=sys.stderr)
     if json_path:
         try:
-            with open(json_path, "w", encoding="utf-8") as handle:
-                handle.write(_canonical(document) + "\n")
+            write_document(document, json_path)
         except OSError as exc:
             print(f"cannot write {json_path}: {exc}", file=sys.stderr)
             return 1

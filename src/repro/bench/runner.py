@@ -11,10 +11,11 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.experiments import (EXPERIMENTS, SEEDED_EXPERIMENTS,
+                                     run_experiment)
 
 
-def _report_to_dict(report) -> dict:
+def report_to_dict(report) -> dict:
     return {
         "experiment": report.experiment_id,
         "description": report.description,
@@ -30,6 +31,10 @@ def _report_to_dict(report) -> dict:
                                          dict, type(None)))},
         "reproduced": report.all_claims_hold,
     }
+
+
+#: Back-compat alias (the public name is :func:`report_to_dict`).
+_report_to_dict = report_to_dict
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -49,13 +54,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     collected = []
     for experiment_id in ids:
         kwargs = {}
-        if experiment_id in ("E1", "E2", "E3", "E4", "E5", "A1", "D1",
-                             "F3", "G1", "M1", "R1", "R2"):
+        if experiment_id in SEEDED_EXPERIMENTS:
             kwargs["seed"] = args.seed
         report = run_experiment(experiment_id, **kwargs)
         print(report.render())
         print()
-        collected.append(_report_to_dict(report))
+        collected.append(report_to_dict(report))
         if not report.all_claims_hold:
             failures += 1
     if args.json_path:

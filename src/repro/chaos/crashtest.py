@@ -54,7 +54,7 @@ from repro.chaos.scenario import (
     build_survey_program,
 )
 from repro.sim.faults import FaultPlan, StorageFaults
-from repro.sim.rng import RandomStream
+from repro.sim.rng import retry_stream
 from repro.wrappers.mobility import make_task_briefcase
 
 SCENARIO_NAMES = ("kill-during-migration", "torn-journal-tail",
@@ -149,7 +149,7 @@ def run_crashtest(seed: int = 7, scenario: str = "kill-during-migration",
     # no rear guard: recovery must come from the journal, not from a
     # checkpoint relaunch.
     ctx = home.driver(name="crashtest-home", principal=CHAOS_PRINCIPAL)
-    ctx.configure_retry(CHAOS_RETRY, RandomStream(seed, name="retry/home"))
+    ctx.configure_retry(CHAOS_RETRY, retry_stream(seed, "home"))
 
     program = build_survey_program(cluster.keychain)
     stops = [{"vm": str(cluster.vm_uri(host)),

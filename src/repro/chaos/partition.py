@@ -48,7 +48,7 @@ from repro.chaos.scenario import (
     build_survey_program,
 )
 from repro.sim.faults import FaultPlan
-from repro.sim.rng import RandomStream
+from repro.sim.rng import retry_stream
 from repro.wrappers.fault import CheckpointWrapper
 from repro.wrappers.mobility import make_task_briefcase
 from repro.wrappers.monitor import MonitorWrapper
@@ -123,8 +123,8 @@ def run_partition(seed: int = 7, scenario: str = "partition-storm",
         principal=CHAOS_PRINCIPAL, tag=AGENT_NAME,
         heartbeat_timeout=HEARTBEAT_TIMEOUT, poll_interval=POLL_SECONDS,
         expected_incarnation=0)
-    guard.ctx.configure_retry(
-        CHAOS_RETRY, RandomStream(seed, name="retry/rear_guard"))
+    guard.ctx.configure_retry(CHAOS_RETRY,
+                              retry_stream(seed, "rear_guard"))
     # Twin kills cross hosts: the guard's admin requests must arrive
     # authenticated or the destination firewall refuses them.
     guard.ctx.configure_signing(cluster.keychain)

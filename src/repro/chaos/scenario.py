@@ -31,7 +31,7 @@ from repro.chaos.rearguard import RearGuard
 from repro.obs.telemetry import Telemetry
 from repro.sim.faults import FaultPlan
 from repro.sim.network import BANDWIDTH_10MBIT, LATENCY_LAN
-from repro.sim.rng import RandomStream
+from repro.sim.rng import retry_stream
 from repro.system.cluster import TaxCluster
 from repro.vm import loader
 from repro.wrappers.fault import CheckpointWrapper
@@ -169,8 +169,8 @@ def run_chaos(seed: int = 7, plan: str = "mid-crash",
         principal=CHAOS_PRINCIPAL, tag=AGENT_NAME,
         heartbeat_timeout=HEARTBEAT_TIMEOUT, poll_interval=POLL_SECONDS)
     if recovery:
-        guard.ctx.configure_retry(
-            CHAOS_RETRY, RandomStream(seed, name="retry/rear_guard"))
+        guard.ctx.configure_retry(CHAOS_RETRY,
+                                  retry_stream(seed, "rear_guard"))
 
     program = build_survey_program(cluster.keychain)
     stops = [{"vm": str(cluster.vm_uri(host)),

@@ -26,10 +26,21 @@ Commands:
   block is true.  Deterministic like ``chaos``: CI runs the command
   twice and diffs byte-for-byte;
 - ``overload`` — flood one host from N greedy principals (plus a dead
-  host and poison wire buffers) with or without the firewall governor
-  and print the shedding/backpressure/breaker report as canonical
-  JSON.  Like ``chaos``, the output is a pure function of ``(--seed,
-  --no-governor)`` and CI diffs two runs byte-for-byte;
+  host and poison wire buffers) under a named governor mode
+  (``--mode governed|ungoverned``; ``--no-governor`` is the historic
+  alias) and print the shedding/backpressure/breaker report as
+  canonical JSON.  Like ``chaos``, the output is a pure function of
+  ``(--seed, --mode)`` and CI diffs two runs byte-for-byte;
+- ``suite`` — the declarative experiment-suite runner
+  (``repro.suites``).  ``suite run FILE`` executes a YAML/JSON-declared
+  parameter matrix over the registered scenario plugins (chaos,
+  partition, crashtest, overload, experiment) and prints one canonical
+  suite document — per-cell seeds derive from the suite seed and the
+  cell identity, so the document is a pure function of ``(FILE,
+  --seed)`` and CI diffs two runs byte-for-byte; exits non-zero if any
+  cell's invariant checks fail.  ``suite list`` shows the plugins (or,
+  given a file, its expanded cells with derived seeds); ``suite
+  validate FILE`` checks a suite file without running it;
 - ``perf`` — run the hot-path microbenchmarks (codec decode/encode,
   kernel dispatch, E1 end-to-end) against in-process replicas of the
   pre-optimisation code paths and write the before/after medians to a
@@ -204,13 +215,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
     from repro.bench.experiments import run_e1
-    from repro.bench.runner import _report_to_dict
+    from repro.bench.runner import report_to_dict
 
     wall_start = time.perf_counter()
     report = run_e1(seed=args.seed, telemetry=True)
     wall = time.perf_counter() - wall_start
     print(report.render())
-    document = _report_to_dict(report)
+    document = report_to_dict(report)
     document["wall_seconds"] = wall
     if args.json_path:
         try:
@@ -318,15 +329,21 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
 
 
 def _cmd_overload(args: argparse.Namespace) -> int:
-    from repro.bench.overload import render_overload_json, run_overload
+    from repro.bench.overload import (MODE_DESCRIPTIONS, MODE_NAMES,
+                                      overload_ok, render_overload_json,
+                                      run_overload_mode)
 
-    document = run_overload(seed=args.seed, governed=not args.no_governor)
-    print(render_overload_json(document))
+    # ``--no-governor`` predates the named-mode interface; keep it as
+    # an alias for ``--mode ungoverned``.
+    mode = "ungoverned" if args.no_governor else args.mode
     # The flood is expected to complete even when the governor sheds:
     # rejections are transient and the senders' retry policies absorb
-    # them.  A completion rate below 90% means backpressure broke
-    # delivery rather than smoothing it.
-    return 0 if document["flood"]["completion_rate"] >= 0.9 else 1
+    # them.  A completion rate below the floor means backpressure broke
+    # delivery rather than smoothing it (``overload_ok``).
+    return _run_named_scenario(
+        "overload", "mode", MODE_NAMES, MODE_DESCRIPTIONS, args.list,
+        lambda: run_overload_mode(seed=args.seed, mode=mode),
+        render_overload_json, overload_ok)
 
 
 def _default_lint_paths() -> List[str]:
@@ -407,10 +424,99 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
-    from repro.bench.perf import run_perf
+    from repro.bench.perf import (PROFILE_DESCRIPTIONS, PROFILE_NAMES,
+                                  build_profile_document, print_medians,
+                                  render_semantics_json, semantics_ok,
+                                  write_document)
 
-    return run_perf(seed=args.seed, repeats=args.repeats,
-                    quick=args.quick, json_path=args.json_path)
+    # ``--quick`` predates the named-profile interface; keep it as an
+    # alias for ``--profile quick``.
+    profile = "quick" if args.quick else args.profile
+
+    def report(document):
+        # The medians table is human-facing: keep it off stdout, which
+        # carries only the deterministic semantics JSON CI diffs.
+        print_medians(document, stream=sys.stderr)
+        if args.json_path:
+            try:
+                write_document(document, args.json_path)
+            except OSError as exc:
+                print(f"cannot write {args.json_path}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote timings to {args.json_path}", file=sys.stderr)
+        return None
+
+    return _run_named_scenario(
+        "perf", "profile", PROFILE_NAMES, PROFILE_DESCRIPTIONS,
+        args.list,
+        lambda: build_profile_document(seed=args.seed, profile=profile,
+                                       repeats=args.repeats),
+        render_semantics_json, semantics_ok, on_document=report)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.suites import (SuiteError, cell_seed, get_plugin,
+                              load_suite, plugin_descriptions,
+                              plugin_names, render_suite_json, run_suite,
+                              suite_ok)
+
+    def load():
+        try:
+            return load_suite(args.file)
+        except SuiteError as exc:
+            print(f"repro suite: {exc}", file=sys.stderr)
+            return None
+
+    if args.suite_command == "list":
+        if not args.file:
+            print("scenario plugins:")
+            _print_name_table(plugin_names(), plugin_descriptions())
+            for name in plugin_names():
+                plugin = get_plugin(name)
+                variants = plugin.variants()
+                if variants:
+                    print(f"  {name} --{plugin.variant_param}: "
+                          f"{', '.join(str(v) for v in variants)}")
+            return 0
+        spec = load()
+        if spec is None:
+            return 2
+        print(f"suite {spec.name!r} ({spec.source}): "
+              f"{len(spec.cells)} cell(s), seed {spec.seed}, "
+              f"early_stop {spec.early_stop}")
+        for index, cell in enumerate(spec.cells):
+            print(f"  [{index}] {cell.cell_id} "
+                  f"seed={cell_seed(spec.seed, cell)}")
+        return 0
+
+    spec = load()
+    if spec is None:
+        return 2
+    if args.suite_command == "validate":
+        print(f"{spec.source}: OK — suite {spec.name!r}, "
+              f"{len(spec.cells)} cell(s)")
+        return 0
+
+    document = run_suite(spec, seed=args.seed,
+                         include_documents=not args.digests_only)
+    rendered = render_suite_json(document)
+    print(rendered)
+    if args.json_path:
+        try:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+        except OSError as exc:
+            print(f"cannot write {args.json_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote suite document to {args.json_path}",
+              file=sys.stderr)
+    summary = document["summary"]
+    print(f"suite {spec.name!r}: {summary['passed']}/"
+          f"{summary['planned']} passed, {summary['failed']} failed, "
+          f"{summary['skipped']} skipped", file=sys.stderr)
+    return 0 if suite_ok(document) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -523,11 +629,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     overload = sub.add_parser(
         "overload",
-        help="flood one host with/without the governor; print JSON")
+        help="flood one host under a governor mode; print JSON")
     overload.add_argument("--seed", type=int, default=7)
+    overload.add_argument("--mode", default="governed", metavar="MODE",
+                          help="governor mode (see --list); an unknown "
+                               "name exits 2 with the available modes")
+    overload.add_argument("--list", action="store_true",
+                          help="list the governor modes and exit")
     overload.add_argument("--no-governor", action="store_true",
-                          help="run the ungoverned baseline: unbounded "
-                               "queues, no quotas, no breakers")
+                          help="alias for --mode ungoverned (the "
+                               "baseline: unbounded queues, no quotas, "
+                               "no breakers)")
 
     perf = sub.add_parser(
         "perf",
@@ -536,12 +648,45 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--repeats", type=int, default=5,
                       help="timing samples per benchmark leg (median "
                            "reported)")
+    perf.add_argument("--profile", default="full", metavar="PROFILE",
+                      help="workload profile (see --list); an unknown "
+                           "name exits 2 with the available profiles")
+    perf.add_argument("--list", action="store_true",
+                      help="list the workload profiles and exit")
     perf.add_argument("--quick", action="store_true",
-                      help="smaller workloads / fewer repeats (CI smoke)")
+                      help="alias for --profile quick (smaller "
+                           "workloads / fewer repeats: the CI smoke)")
     perf.add_argument("--json", dest="json_path", default=None,
                       metavar="BENCH_perf.json",
                       help="write the full timings document here; stdout "
                            "stays the deterministic semantics JSON")
+
+    suite = sub.add_parser(
+        "suite",
+        help="run/list/validate declarative experiment suites")
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+    suite_run = suite_sub.add_parser(
+        "run", help="execute a suite file; print the canonical suite "
+                    "document; exit non-zero if any cell check fails")
+    suite_run.add_argument("file", help="suite file (.yaml/.yml/.json)")
+    suite_run.add_argument("--seed", type=int, default=None,
+                           help="override the suite file's seed")
+    suite_run.add_argument("--json", dest="json_path", default=None,
+                           metavar="SUITE.json",
+                           help="also write the suite document here "
+                                "(the CI artifact)")
+    suite_run.add_argument("--digests-only", action="store_true",
+                           help="omit the raw per-cell documents; keep "
+                                "only their digests and check verdicts")
+    suite_list = suite_sub.add_parser(
+        "list", help="list the scenario plugins, or a file's expanded "
+                     "cells with their derived seeds")
+    suite_list.add_argument("file", nargs="?", default=None,
+                            help="optional suite file to expand")
+    suite_validate = suite_sub.add_parser(
+        "validate", help="validate a suite file without running it")
+    suite_validate.add_argument("file",
+                                help="suite file (.yaml/.yml/.json)")
 
     lint = sub.add_parser(
         "lint",
@@ -600,6 +745,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_overload(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
     if args.command == "lint":
         return _cmd_lint(args)
     parser.error(f"unknown command {args.command!r}")

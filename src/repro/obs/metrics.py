@@ -129,6 +129,12 @@ class Metric:
         return {"kind": self.kind, "help": self.help,
                 "samples": self.samples()}
 
+    def clear(self) -> None:
+        """Drop every series (counts, watermarks, histograms) while the
+        family itself stays registered — see
+        :meth:`MetricsRegistry.reset`."""
+        self._series.clear()
+
 
 class Counter(Metric):
     """Monotonically increasing value (int or float)."""
@@ -312,7 +318,22 @@ class MetricsRegistry:
                 for name in sorted(self._families)}
 
     def reset(self) -> None:
-        self._families.clear()
+        """The explicit **per-run reset**: clear every series in place.
+
+        Families stay registered and — crucially — any family object a
+        call site still holds (``gauge = metrics.gauge("fw.queue_peak_
+        depth")``) stays *live*.  The registry used to drop the family
+        dict wholesale, which orphaned such held references: their
+        writes after the reset landed in a detached object and silently
+        vanished from snapshots, while cumulative state recorded before
+        the reset (peak watermarks via :meth:`Gauge.set_max`, counter
+        totals) could leak into the next in-process run whenever the
+        reset was skipped.  Back-to-back scenario cells in one process
+        (the suite matrix runner) must either construct a fresh registry
+        or call this; see ``docs/experiments.md``.
+        """
+        for family in self._families.values():
+            family.clear()
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"

@@ -144,6 +144,17 @@ class Telemetry:
         }
 
     def reset(self) -> None:
+        """The per-run reset: wipe metrics series, spans, flight-recorder
+        rings and the trace-id mint while keeping every registered
+        family (and the enabled/disabled switch) intact.
+
+        Scenario plugins that reuse a telemetry hub across back-to-back
+        in-process runs (the suite matrix runner) must call this between
+        cells — otherwise cumulative state (peak watermarks, counter
+        totals, recorder dumps) from one cell corrupts the next cell's
+        document.  Constructing a fresh :class:`Telemetry` per run is
+        equivalent and is what the built-in scenario drivers do.
+        """
         self.metrics.reset()
         self.tracer.reset()
         self.flight.reset()

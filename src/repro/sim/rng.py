@@ -92,6 +92,31 @@ class RandomStream:
         return f"<RandomStream seed={self.seed} name={self.name!r}>"
 
 
+def derive_seed(seed: int, name: str) -> int:
+    """Derive a child integer seed from ``(seed, name)``.
+
+    This is the one derivation every layer shares: a suite seed derives
+    per-cell seeds (``derive_seed(suite_seed, "cell/" + cell_id)``), and
+    a cell seed derives its named :class:`RandomStream`\\ s.  Because the
+    child depends only on the parent seed and the *name* — never on
+    draw order or on how many siblings were derived first — identical
+    cells are byte-identical regardless of matrix position.
+    """
+    return RandomStream._derive(seed, name)
+
+
+def retry_stream(seed: int, role: str) -> RandomStream:
+    """The named retry-jitter stream convention scenario drivers share.
+
+    Every scenario driver (chaos, partition, crashtest, overload) must
+    derive its retry streams through this helper — one seed, one
+    ``retry/<role>`` namespace — instead of ad-hoc seed arithmetic
+    (``seed + index``) or hand-rolled stream names, so two drivers
+    running the same cell agree on every draw.
+    """
+    return RandomStream(seed, name=f"retry/{role}")
+
+
 def stream_from(seed_or_stream: Optional[object], name: str) -> RandomStream:
     """Coerce an int seed, a stream, or None into a :class:`RandomStream`."""
     if seed_or_stream is None:

@@ -1,0 +1,179 @@
+"""The built-in scenario plugins: every bespoke driver, registered.
+
+This module is the refactor that retires the six bespoke entrypoints:
+``run_chaos`` / ``run_partition`` / ``run_crashtest`` / ``run_overload``
+and the paper-experiment drivers all become registered
+:class:`~repro.suites.registry.ScenarioPlugin`\\ s sharing one result
+envelope, so the matrix runner (and any future harness) composes them
+uniformly.  The CLI subcommands (``repro chaos`` …) keep working and
+keep their exact output — they now merely exercise the same drivers the
+plugins wrap.
+
+Each plugin declares its parameter domain (the matrix axes: named fault
+plan / scenario / mode, topology ``workers``, governor mode) and its
+default invariant checks — the expressions the runner evaluates against
+the returned document to decide the cell verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.suites.registry import (ParamSpec, ScenarioPlugin,
+                                   register_plugin)
+
+
+def _run_chaos(seed: int, plan: str, recovery: bool,
+               workers: int) -> Dict:
+    from repro.chaos.scenario import run_chaos
+    return run_chaos(seed=seed, plan=plan, recovery=recovery,
+                     workers=workers)
+
+
+def _render_chaos(document: Dict) -> str:
+    from repro.chaos.scenario import render_chaos_json
+    return render_chaos_json(document)
+
+
+def _run_partition(seed: int, scenario: str, workers: int) -> Dict:
+    from repro.chaos.partition import run_partition
+    return run_partition(seed=seed, scenario=scenario, workers=workers)
+
+
+def _render_partition(document: Dict) -> str:
+    from repro.chaos.partition import render_partition_json
+    return render_partition_json(document)
+
+
+def _run_crashtest(seed: int, scenario: str, workers: int) -> Dict:
+    from repro.chaos.crashtest import run_crashtest
+    return run_crashtest(seed=seed, scenario=scenario, workers=workers)
+
+
+def _render_crashtest(document: Dict) -> str:
+    from repro.chaos.crashtest import render_crashtest_json
+    return render_crashtest_json(document)
+
+
+def _run_overload(seed: int, mode: str) -> Dict:
+    from repro.bench.overload import run_overload_mode
+    return run_overload_mode(seed=seed, mode=mode)
+
+
+def _render_overload(document: Dict) -> str:
+    from repro.bench.overload import render_overload_json
+    return render_overload_json(document)
+
+
+def _run_experiment(seed: int, id: str) -> Dict:
+    from repro.bench.experiments import SEEDED_EXPERIMENTS, run_experiment
+    from repro.bench.runner import report_to_dict
+    kwargs = {"seed": seed} if id in SEEDED_EXPERIMENTS else {}
+    return report_to_dict(run_experiment(id, **kwargs))
+
+
+def _render_experiment(document: Dict) -> str:
+    import json
+    return json.dumps(document, sort_keys=True, indent=2)
+
+
+def _experiment_ids():
+    from repro.bench.experiments import EXPERIMENTS
+    return tuple(sorted(EXPERIMENTS))
+
+
+def _chaos_plans():
+    from repro.chaos.scenario import PLAN_NAMES
+    return tuple(PLAN_NAMES)
+
+
+def _partition_scenarios():
+    from repro.chaos.partition import SCENARIO_NAMES
+    return tuple(SCENARIO_NAMES)
+
+
+def _crashtest_scenarios():
+    from repro.chaos.crashtest import SCENARIO_NAMES
+    return tuple(SCENARIO_NAMES)
+
+
+def _overload_modes():
+    from repro.bench.overload import MODE_NAMES
+    return tuple(MODE_NAMES)
+
+
+register_plugin(ScenarioPlugin(
+    name="chaos",
+    description="the survey itinerary under a named fault plan "
+                "(crashes, restarts, link flaps)",
+    run=_run_chaos,
+    render=_render_chaos,
+    params={
+        "plan": ParamSpec("mid-crash", str, _chaos_plans(),
+                          "fault plan name"),
+        "recovery": ParamSpec(True, bool,
+                              help="carry the recovery kit (monitor/"
+                                   "checkpoint/retry/rear-guard)"),
+        "workers": ParamSpec(3, int, help="worker-host count (topology)"),
+    },
+    # The agent reported at least one site and was not silently lost.
+    checks=("agent.sites_visited>=1", "!agent.timed_out"),
+    variant_param="plan",
+))
+
+register_plugin(ScenarioPlugin(
+    name="partition",
+    description="exactly-once delivery under partition storms, "
+                "split brain and asymmetric ack loss",
+    run=_run_partition,
+    render=_render_partition,
+    params={
+        "scenario": ParamSpec("partition-storm", str,
+                              _partition_scenarios(), "scenario name"),
+        "workers": ParamSpec(3, int, help="worker-host count (topology)"),
+    },
+    checks=("exactly_once.holds",),
+    variant_param="scenario",
+))
+
+register_plugin(ScenarioPlugin(
+    name="crashtest",
+    description="journal replay resurrects bare agents through host "
+                "crashes, torn tails and crash loops",
+    run=_run_crashtest,
+    render=_render_crashtest,
+    params={
+        "scenario": ParamSpec("kill-during-migration", str,
+                              _crashtest_scenarios(), "scenario name"),
+        "workers": ParamSpec(3, int, help="worker-host count (topology)"),
+    },
+    checks=("exactly_once.holds", "conservation.holds"),
+    variant_param="scenario",
+))
+
+register_plugin(ScenarioPlugin(
+    name="overload",
+    description="N greedy principals flood one host with or without "
+                "the firewall governor (the governor-config axis)",
+    run=_run_overload,
+    render=_render_overload,
+    params={
+        "mode": ParamSpec("governed", str, _overload_modes(),
+                          "governed or ungoverned"),
+    },
+    checks=("flood.completion_rate>=0.9",),
+    variant_param="mode",
+))
+
+register_plugin(ScenarioPlugin(
+    name="experiment",
+    description="one paper-reproduction experiment (E1, E2, ...) as a "
+                "suite cell; the check is its paper-vs-measured verdict",
+    run=_run_experiment,
+    render=_render_experiment,
+    params={
+        "id": ParamSpec("E1", str, _experiment_ids(), "experiment id"),
+    },
+    checks=("reproduced",),
+    variant_param="id",
+))

@@ -5,10 +5,13 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.obs.telemetry import Telemetry
 
-registry = MetricsRegistry(enabled=True)     # finding: direct registry
-tracer = Tracer(enabled=True)                # finding: direct tracer
-qualified = obs_tracing.Tracer()             # finding: qualified form
 
-hub = Telemetry(enabled=True)                # ok: the facade itself
-spans = hub.tracer.spans                     # ok: reached via the facade
-quiet = Tracer()  # lint: disable=OBS001 - deliberate standalone tracer
+def build():
+    registry = MetricsRegistry(enabled=True)     # finding: direct registry
+    tracer = Tracer(enabled=True)                # finding: direct tracer
+    qualified = obs_tracing.Tracer()             # finding: qualified form
+
+    hub = Telemetry(enabled=True)                # ok: the facade itself
+    spans = hub.tracer.spans                     # ok: reached via the facade
+    quiet = Tracer()  # lint: disable=OBS001 - deliberate standalone tracer
+    return registry, tracer, qualified, spans, quiet

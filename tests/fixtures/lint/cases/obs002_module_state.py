@@ -1,0 +1,18 @@
+"""OBS002 fixture: telemetry state bound at module scope."""
+
+import repro.obs.telemetry as obs_telemetry
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+
+TELEMETRY = Telemetry(enabled=True)              # finding: module global
+registry = MetricsRegistry(enabled=True)         # finding (plus OBS001)
+flight: FlightRecorder = FlightRecorder()        # finding: annotated form
+qualified = obs_telemetry.Telemetry()            # finding: qualified form
+
+
+def fresh() -> Telemetry:
+    return Telemetry(enabled=True)               # ok: one per run
+
+
+SHARED = Telemetry()  # lint: disable=OBS002 - process-lifetime singleton

@@ -33,7 +33,7 @@ def test_rule_pack_registered():
     ids = all_rule_ids()
     assert ids == ("DET001", "DET002", "DET003", "DET004", "DET005",
                    "DET006", "DUR001", "ERR001", "KER001", "MUT001",
-                   "MUT002", "OBS001")
+                   "MUT002", "OBS001", "OBS002")
     assert len(RULES) == len(ids)
 
 
@@ -133,19 +133,30 @@ def test_mut002_missing_slots():
 
 def test_obs001_telemetry_facade():
     findings = lint_file(CASES, "obs001_facade.py")
-    assert rule_lines(findings, "OBS001") == [8, 9, 10]
+    assert rule_lines(findings, "OBS001") == [10, 11, 12]
     assert all(f.rule == "OBS001" for f in findings)
 
 
 def test_obs001_facade_module_exempt():
     source = ("from repro.obs.tracing import Tracer\n"
-              "tracer = Tracer(enabled=True)\n")
+              "def build():\n"
+              "    return Tracer(enabled=True)\n")
     analyzer = Analyzer()
     assert analyzer.analyze_source(
         source, module="repro.obs.telemetry") == []
     outside = analyzer.analyze_source(
         source, module="repro.wrappers.monitor")
     assert [f.rule for f in outside] == ["OBS001"]
+
+
+def test_obs002_module_global_state():
+    findings = lint_file(CASES, "obs002_module_state.py")
+    assert rule_lines(findings, "OBS002") == [8, 9, 10, 11]
+    # Line 9 binds a registry at module scope: both the facade rule and
+    # the module-global rule apply, and the function-local and
+    # suppressed constructions produce nothing.
+    assert rule_lines(findings, "OBS001") == [9]
+    assert {f.rule for f in findings} == {"OBS001", "OBS002"}
 
 
 def test_file_wide_suppression():

@@ -144,11 +144,21 @@ class TestRegistry:
 
         assert build() == build()
 
-    def test_reset_clears_everything(self):
+    def test_reset_clears_series_in_place(self):
         registry = MetricsRegistry()
-        registry.inc("x")
+        counter = registry.counter("x")
+        counter.inc()
         registry.reset()
-        assert registry.snapshot() == {}
+        # Families stay registered (held references stay live); every
+        # series is gone.  Dropping the family dict wholesale instead
+        # orphaned held references: post-reset writes landed in a
+        # detached object and silently vanished.
+        snapshot = registry.snapshot()
+        assert snapshot["x"]["samples"] == []
+        assert registry.counter("x") is counter
+        counter.inc(2)
+        [sample] = registry.snapshot()["x"]["samples"]
+        assert sample["value"] == 2
 
 
 class TestDisabledRegistry:
