@@ -18,10 +18,13 @@ from repro.analysis.engine import (
 from repro.analysis.findings import (
     Finding,
     Report,
+    WitnessStep,
     render_json,
     render_sarif,
     render_text,
 )
+from repro.analysis.callgraph import Project, export_dot, export_json
+from repro.analysis.dataflow import Dataflow
 from repro.analysis.baseline import (
     apply_baseline,
     load_baseline,
@@ -37,10 +40,21 @@ from repro.analysis.sanitizer import (
     sanitizing,
 )
 from repro.analysis import rules as _rules  # registers the rule pack
+from repro.analysis import iprules as _iprules  # registers project rules
+from repro.analysis.iprules import (
+    PROJECT_RULES,
+    ProjectRule,
+    project_rule_index,
+    register_project,
+)
 
 __all__ = [
     "Analyzer", "LintContext", "Rule", "RULES", "register", "rule_index",
-    "Finding", "Report", "render_json", "render_sarif", "render_text",
+    "Finding", "Report", "WitnessStep",
+    "render_json", "render_sarif", "render_text",
+    "Project", "Dataflow", "export_dot", "export_json",
+    "PROJECT_RULES", "ProjectRule", "project_rule_index",
+    "register_project",
     "apply_baseline", "load_baseline", "render_baseline", "write_baseline",
     "AliasingSanitizer", "RULE_ALIASING", "RULE_CONFLICT",
     "SANITIZER_RULES", "run_sanitized_scenarios", "sanitizing",

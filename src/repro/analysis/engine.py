@@ -22,6 +22,7 @@ import ast
 import os
 import re
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Iterable,
     Iterator,
@@ -32,6 +33,10 @@ from typing import (
     Tuple,
     Type,
 )
+
+if TYPE_CHECKING:  # circular at runtime (iprules -> rules -> engine)
+    from repro.analysis.callgraph import Project
+    from repro.analysis.iprules import ProjectRule
 
 from repro.analysis.findings import (
     Finding,
@@ -71,8 +76,14 @@ class LintContext:
         #: name resolution refuses these (a local ``time = ...`` shadows
         #: the module).
         self.shadowed: Set[str] = set()
+        #: line -> the full line span of the statement header it belongs
+        #: to (decorators + def/class signature), so a suppression
+        #: comment anywhere on a decorated ``def`` header suppresses
+        #: findings attributed to any of its lines.
+        self._header_spans: Dict[int, Tuple[int, ...]] = {}
         self._collect_imports()
         self._link_parents()
+        self._collect_header_spans()
 
     # -- tree preparation ---------------------------------------------------
 
@@ -103,6 +114,22 @@ class LintContext:
         for node in ast.walk(self.tree):
             for child in ast.iter_child_nodes(node):
                 child._lint_parent = node  # type: ignore[attr-defined]
+
+    def _collect_header_spans(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                continue
+            start = node.lineno
+            for decorator in node.decorator_list:
+                start = min(start, decorator.lineno)
+            end = node.body[0].lineno - 1 if node.body else node.lineno
+            end = max(end, node.lineno)
+            if end <= start:
+                continue
+            span = tuple(range(start, end + 1))
+            for lineno in span:
+                self._header_spans.setdefault(lineno, span)
 
     # -- helpers rules call -------------------------------------------------
 
@@ -142,11 +169,19 @@ class LintContext:
     # -- suppressions -------------------------------------------------------
 
     def suppressed_rules(self, lineno: int) -> Set[str]:
+        """Inline suppressions effective for ``lineno``.
+
+        Lookup is normalized over statement header spans: a finding on
+        a decorator line honours a ``# lint: disable=`` comment on the
+        decorated ``def`` line (and vice versa) — the header is one
+        statement even though it covers several physical lines.
+        """
         rules: Set[str] = set()
-        if 1 <= lineno <= len(self.lines):
-            match = _DISABLE_LINE_RE.search(self.lines[lineno - 1])
-            if match:
-                rules |= _parse_rule_list(match.group(1))
+        for span_line in self._header_spans.get(lineno, (lineno,)):
+            if 1 <= span_line <= len(self.lines):
+                match = _DISABLE_LINE_RE.search(self.lines[span_line - 1])
+                if match:
+                    rules |= _parse_rule_list(match.group(1))
         return rules
 
     def file_suppressed_rules(self) -> Set[str]:
@@ -204,10 +239,26 @@ def rule_index(rules: Optional[Sequence[Rule]] = None
 
 
 class Analyzer:
-    """Runs a rule set over files / directory trees."""
+    """Runs a rule set over files / directory trees.
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+    :meth:`analyze_file` / :meth:`analyze_source` stay strictly
+    per-file (they power unit tests and editor integrations);
+    :meth:`analyze_paths` additionally assembles the whole-program
+    view (:mod:`repro.analysis.symbols` / ``callgraph`` / ``dataflow``)
+    and runs the interprocedural rule pack over it.  ``cache_dir``
+    enables the content-hash facts cache; ``project_rules=()``
+    disables the interprocedural pass.
+    """
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 project_rules: Optional[Sequence["ProjectRule"]] = None,
+                 cache_dir: Optional[str] = None):
         self.rules: List[Rule] = list(RULES if rules is None else rules)
+        if project_rules is None:
+            from repro.analysis.iprules import PROJECT_RULES
+            project_rules = PROJECT_RULES
+        self.project_rules: List["ProjectRule"] = list(project_rules)
+        self.cache_dir = cache_dir
 
     # -- file discovery -----------------------------------------------------
 
@@ -279,7 +330,12 @@ class Analyzer:
             module=self._module_name(file_path))
 
     def analyze_paths(self, paths: Iterable[str]) -> Report:
-        """Analyze files/trees; returns a fingerprinted, sorted report."""
+        """Analyze files/trees; returns a fingerprinted, sorted report.
+
+        Runs the per-function rules file by file, then the
+        interprocedural pack over the project assembled from the same
+        files.
+        """
         files: List[str] = []
         for path in paths:
             files.extend(self._iter_python_files(path))
@@ -289,6 +345,49 @@ class Analyzer:
         for file_path in files:
             analyzed.append(self._display_path(file_path))
             findings.extend(self.analyze_file(file_path))
+        if self.project_rules:
+            from repro.analysis.dataflow import Dataflow
+            project = self.build_project(files)
+            flow = Dataflow(project)
+            for rule in self.project_rules:
+                findings.extend(rule.check(project, flow))
         report = Report(findings=fingerprinted(findings), analyzed=analyzed)
         report.findings = sort_findings(report.findings)
         return report
+
+    def build_project(self, paths: Iterable[str]) -> "Project":
+        """Assemble the whole-program view (symbol tables + call graph)
+        for the given files/trees, consulting the facts cache when
+        ``cache_dir`` is set.  Facts are re-extracted whenever the
+        source hash *or* the display path changed, so cache entries
+        never leak stale paths into findings."""
+        from repro.analysis.callgraph import Project
+        from repro.analysis.summaries import FactsCache, source_digest
+        from repro.analysis.symbols import ModuleFacts, extract_module
+        files: List[str] = []
+        for path in paths:
+            files.extend(self._iter_python_files(path))
+        # Kept on the analyzer so callers can observe hit/miss counts
+        # (the cache-equivalence CI check asserts warm runs never parse).
+        cache = self.cache = FactsCache(self.cache_dir)
+        modules: Dict[str, ModuleFacts] = {}
+        for file_path in sorted(set(files)):
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            module = self._module_name(file_path)
+            display = self._display_path(file_path)
+            digest = source_digest(source)
+            facts = cache.load(module, digest, display)
+            if facts is None or facts.path != display:
+                try:
+                    tree = ast.parse(source, filename=display)
+                except SyntaxError:
+                    continue
+                ctx = LintContext(path=display, module=module,
+                                  source=source, tree=tree)
+                facts = extract_module(ctx)
+                cache.store(module, digest, facts)
+            # Module-name collisions (two loose fixture files sharing a
+            # stem): first in sorted path order wins, deterministically.
+            modules.setdefault(facts.module, facts)
+        return Project(modules)

@@ -29,6 +29,16 @@ _SORT_KEY = ("path", "line", "col", "rule", "message")
 
 
 @dataclass(frozen=True)
+class WitnessStep:
+    """One hop of an interprocedural finding's witness call chain."""
+
+    function: str
+    path: str
+    line: int
+    note: str
+
+
+@dataclass(frozen=True)
 class Finding:
     """One diagnosed hazard."""
 
@@ -46,6 +56,11 @@ class Finding:
     fingerprint: str = ""
     #: True when a committed baseline grandfathers this finding.
     baselined: bool = False
+    #: Interprocedural findings carry the call chain from the reported
+    #: function down to the effect's origin.  Deliberately excluded
+    #: from both the fingerprint and the sort key: a baselined finding
+    #: must survive unrelated callee edits that only reshape the path.
+    witness: Tuple[WitnessStep, ...] = ()
 
     def sort_key(self) -> Tuple[str, int, int, str, str]:
         return (self.path, self.line, self.col, self.rule, self.message)
@@ -120,12 +135,16 @@ def render_json(report: Report) -> str:
 
 
 def render_text(report: Report) -> str:
-    """Human-oriented one-line-per-finding text."""
+    """Human-oriented one-line-per-finding text (witness chains are
+    indented under their finding)."""
     lines = []
     for finding in sort_findings(report.findings):
         tag = " (baselined)" if finding.baselined else ""
         lines.append(f"{finding.location()}: {finding.rule} "
                      f"{finding.severity}: {finding.message}{tag}")
+        for step in finding.witness:
+            lines.append(f"    via {step.function} "
+                         f"({step.path}:{step.line}): {step.note}")
     summary = report.to_dict()["summary"]
     lines.append(f"{summary['total']} finding(s): {summary['new']} new, "
                  f"{summary['baselined']} baselined")
@@ -152,7 +171,7 @@ def render_sarif(report: Report,
         })
     results = []
     for finding in sort_findings(report.findings):
-        results.append({
+        result: Dict[str, Any] = {
             "ruleId": finding.rule,
             "level": levels.get(finding.severity, "warning"),
             "message": {"text": finding.message},
@@ -165,7 +184,16 @@ def render_sarif(report: Report,
                                "startColumn": max(1, finding.col)},
                 },
             }],
-        })
+        }
+        if finding.witness:
+            result["relatedLocations"] = [{
+                "message": {"text": f"{step.function}: {step.note}"},
+                "physicalLocation": {
+                    "artifactLocation": {"uri": step.path},
+                    "region": {"startLine": max(1, step.line)},
+                },
+            } for step in finding.witness]
+        results.append(result)
     document = {
         "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
                     "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),

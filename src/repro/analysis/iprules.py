@@ -1,0 +1,520 @@
+"""The interprocedural rule pack: rules over the whole-program view.
+
+Two kinds of rules live here.  The *upgraded* determinism rules
+(DET001–003, KER001 — same stable ids as their local counterparts)
+report effects the per-function rules cannot see: a wall-clock read
+laundered through an alias or ``functools.partial``, or an environment
+read reached from deterministic code through a helper module outside
+DET003's scope.  The *new* rules (ERR002, WIRE001, ASY001) only exist
+at this layer — they are properties of paths, not of lines.
+
+Reporting policy ("innermost uncovered"): an effect chain produces at
+most one finding, at the innermost in-scope function whose origin the
+local rule pack does not already cover.  A visible origin (a direct,
+resolvable call on an unsuppressed line in an in-scope module) is the
+local rule's business — the transitive layer stays silent rather than
+duplicating it.  Suppressed lines and sanctuary modules never enter
+the dataflow at all (see :mod:`repro.analysis.summaries`), so a
+justified ``# lint: disable=`` keeps sanctioning the whole chain.
+
+Every finding carries a witness path: caller context down to the
+reported function, then the cause chain to the origin line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.callgraph import Project
+from repro.analysis.dataflow import Cause, Dataflow
+from repro.analysis.findings import Finding, WitnessStep
+from repro.analysis.rules import ENV_SCOPES
+from repro.analysis.summaries import (
+    BLOCKING_IO,
+    ENV_READ,
+    KERNEL_BYPASS,
+    RAISES_PERMANENT,
+    READS_WALL_CLOCK,
+    SIM_COUPLED,
+    UNSEEDED_RANDOM,
+)
+from repro.analysis.symbols import FunctionFacts, RetryRegion
+
+#: How many caller-context hops to prepend to a witness chain.
+_CALLER_CONTEXT_HOPS = 3
+
+#: Strip sites for the reserved wire-only folders: the PR 6/7 receive
+#: path helpers that remove ``TRACE-CONTEXT`` / ``DELIVERY-SEQ`` /
+#: ``LANDING-ID`` before a briefcase reaches agent code.
+WIRE_STRIP_ROOTS = (
+    "repro.firewall.dedup.extract_landing",
+    "repro.firewall.dedup.extract_seq",
+    "repro.obs.propagation.extract",
+)
+
+#: Modules the real-transport roadmap item calls transport-clean: the
+#: firewall/codec/TAX data plane that must run unchanged on the asyncio
+#: backend.  ASY001 keeps them free of blocking calls and of edges into
+#: the virtual-time simulation.
+ASY001_SCOPES = (
+    "repro.core.briefcase",
+    "repro.core.codec",
+    "repro.core.element",
+    "repro.core.errors",
+    "repro.core.folder",
+    "repro.core.identity",
+    "repro.core.limits",
+    "repro.core.retry",
+    "repro.core.uri",
+    "repro.core.wellknown",
+    "repro.firewall.auth",
+    "repro.firewall.dedup",
+    # The reference monitor itself is the component the backend swap
+    # re-hosts; its one residual edge into the simulated network
+    # (breaker configuration) is baselined against the roadmap item.
+    "repro.firewall.firewall",
+    "repro.firewall.message",
+    "repro.firewall.policy",
+    "repro.firewall.routing",
+)
+
+#: Exception names that catch everything (plus the bare ``except:``
+#: sentinel "").
+_BROAD_CATCHES = frozenset({"", "Exception", "BaseException"})
+
+
+class ProjectRule:
+    """Base class for whole-program rules."""
+
+    id = "PRJ000"
+    severity = "error"
+    description = ""
+
+    def check(self, project: Project,
+              flow: Dataflow) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - generator template
+
+    def finding(self, project: Project, qname: str, line: int, col: int,
+                message: str, snippet: str,
+                witness: Sequence[WitnessStep]) -> Finding:
+        function = project.functions[qname]
+        return Finding(rule=self.id, severity=self.severity,
+                       path=function.path, line=line, col=col,
+                       message=message, snippet=snippet,
+                       witness=tuple(witness))
+
+
+#: The default project-rule registry, in registration order.
+PROJECT_RULES: List[ProjectRule] = []
+
+
+def register_project(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    PROJECT_RULES.append(cls())
+    return cls
+
+
+def project_rule_index() -> Dict[str, Tuple[str, str]]:
+    """rule id -> (severity, description) for SARIF/docs, *excluding*
+    ids shared with the local pack (the local entry wins there)."""
+    return {rule.id: (rule.severity, rule.description)
+            for rule in PROJECT_RULES}
+
+
+def _caller_context(project: Project, qname: str) -> List[WitnessStep]:
+    """Up to :data:`_CALLER_CONTEXT_HOPS` callers above ``qname``
+    (outermost first), chosen lexicographically for determinism."""
+    chain: List[str] = [qname]
+    seen = {qname}
+    current = qname
+    for _ in range(_CALLER_CONTEXT_HOPS):
+        callers = [c for c in project.callers.get(current, ())
+                   if c not in seen and not c.endswith(".<module>")]
+        if not callers:
+            break
+        parent = callers[0]
+        seen.add(parent)
+        chain.append(parent)
+        current = parent
+    steps: List[WitnessStep] = []
+    for index in range(len(chain) - 1, 0, -1):
+        caller, callee = chain[index], chain[index - 1]
+        caller_facts = project.functions[caller]
+        line = caller_facts.line
+        for edge in project.graph[caller]:
+            if edge.kind == "call" and edge.callee == callee:
+                line = edge.line
+                break
+        short = callee.rsplit(".", 1)[-1]
+        steps.append(WitnessStep(function=caller, path=caller_facts.path,
+                                 line=line, note=f"calls {short}()"))
+    return steps
+
+
+def _chain_steps(flow: Dataflow, qname: str,
+                 effect: str) -> List[WitnessStep]:
+    return [WitnessStep(function=fn, path=path, line=line, note=note)
+            for fn, path, line, note in flow.chain(qname, effect)]
+
+
+class TransitiveEffectRule(ProjectRule):
+    """Shared machinery for the upgraded DET/KER/ASY effect rules."""
+
+    #: The dataflow effect this rule reports.
+    effect = ""
+    #: True when a *local* rule can already flag visible origins (the
+    #: transitive layer then defers to it).
+    has_local_rule = True
+
+    def in_scope(self, module: str) -> bool:
+        return True
+
+    def message(self, project: Project, qname: str, root_qname: str,
+                root: Cause) -> str:
+        raise NotImplementedError
+
+    def check(self, project: Project,
+              flow: Dataflow) -> Iterator[Finding]:
+        status: Dict[str, str] = {}
+        for qname in sorted(project.functions):
+            if flow.cause(qname, self.effect) is None:
+                continue
+            if self._status(project, flow, qname, status) != "reported":
+                continue
+            cause = flow.cause(qname, self.effect)
+            assert cause is not None
+            root = flow.root(qname, self.effect)
+            if root is None:
+                continue
+            root_qname, root_cause = root
+            witness = _caller_context(project, qname) + \
+                _chain_steps(flow, qname, self.effect)
+            yield self.finding(
+                project, qname, cause.line, cause.col,
+                self.message(project, qname, root_qname, root_cause),
+                cause.snippet, witness)
+
+    def _status(self, project: Project, flow: Dataflow, qname: str,
+                memo: Dict[str, str]) -> str:
+        """``"covered"`` (a local finding or a deeper transitive finding
+        exists), ``"reported"`` (this function gets the finding), or
+        ``"unscoped"`` (tainted, but outside the rule's scope)."""
+        cached = memo.get(qname)
+        if cached is not None:
+            return cached
+        memo[qname] = "covered"  # cycle guard: stay quiet on revisits
+        cause = flow.cause(qname, self.effect)
+        if cause is None:
+            result = "covered"
+        elif cause.kind == "intrinsic":
+            function = project.functions[qname]
+            if not self.in_scope(function.module):
+                result = "unscoped"
+            elif cause.visible and self.has_local_rule:
+                result = "covered"
+            else:
+                result = "reported"
+        else:
+            below = self._status(project, flow, cause.callee, memo)
+            if below in ("covered", "reported"):
+                result = "covered"
+            else:
+                function = project.functions[qname]
+                result = "reported" if self.in_scope(function.module) \
+                    else "unscoped"
+        memo[qname] = result
+        return result
+
+
+@register_project
+class TransitiveWallClockRule(TransitiveEffectRule):
+    id = "DET001"
+    severity = "error"
+    description = ("Wall-clock read reached through the call graph "
+                   "(aliased or laundered past the local rule)")
+    effect = READS_WALL_CLOCK
+
+    def message(self, project: Project, qname: str, root_qname: str,
+                root: Cause) -> str:
+        short = root_qname.rsplit(".", 1)[-1]
+        return (f"reaches a wall-clock read ({root.note} in {short}) "
+                f"invisible to the local rule; deterministic code must "
+                f"use the kernel's virtual clock (kernel.now / ctx.now)")
+
+
+@register_project
+class TransitiveRandomRule(TransitiveEffectRule):
+    id = "DET002"
+    severity = "error"
+    description = ("Unseeded randomness reached through the call graph "
+                   "outside repro.sim.rng")
+    effect = UNSEEDED_RANDOM
+
+    def message(self, project: Project, qname: str, root_qname: str,
+                root: Cause) -> str:
+        short = root_qname.rsplit(".", 1)[-1]
+        return (f"reaches unseeded randomness ({root.note} in {short}) "
+                f"the simulation cannot replay; route randomness "
+                f"through repro.sim.rng")
+
+
+@register_project
+class TransitiveEnvReadRule(TransitiveEffectRule):
+    id = "DET003"
+    severity = "error"
+    description = ("Environment read reached from sim/core through "
+                   "helpers outside the local rule's scope")
+    effect = ENV_READ
+
+    def in_scope(self, module: str) -> bool:
+        return module.startswith(ENV_SCOPES)
+
+    def message(self, project: Project, qname: str, root_qname: str,
+                root: Cause) -> str:
+        short = root_qname.rsplit(".", 1)[-1]
+        return (f"deterministic code reaches an environment read "
+                f"({root.note} in {short}); thread configuration "
+                f"through explicit parameters instead")
+
+
+@register_project
+class TransitiveKernelBypassRule(TransitiveEffectRule):
+    id = "KER001"
+    severity = "error"
+    description = ("Kernel-bypassing scheduling primitive reached "
+                   "through the call graph outside repro.sim.eventloop")
+    effect = KERNEL_BYPASS
+
+    def message(self, project: Project, qname: str, root_qname: str,
+                root: Cause) -> str:
+        short = root_qname.rsplit(".", 1)[-1]
+        return (f"reaches a kernel-bypassing scheduler ({root.note} in "
+                f"{short}); every scheduling decision must flow "
+                f"through repro.sim.eventloop")
+
+
+@register_project
+class RetryBurnRule(ProjectRule):
+    id = "ERR002"
+    severity = "error"
+    description = ("Retry-shaped handler catches (and retries) a path "
+                   "that raises a permanent error — retries are burned "
+                   "on an outcome that cannot change")
+
+    def check(self, project: Project,
+              flow: Dataflow) -> Iterator[Finding]:
+        for qname in sorted(project.functions):
+            function = project.functions[qname]
+            module_facts = project.modules[function.module]
+            if self.id in module_facts.file_suppressed:
+                continue
+            for region in function.retry_regions:
+                if region.reraises or region.guarded:
+                    continue
+                if module_facts.suppressed(region.handler_line, self.id):
+                    continue
+                caught = self._effective_catches(project, region.caught)
+                if caught is None:
+                    continue
+                hit = self._permanent_in_body(project, flow, function,
+                                              region, caught)
+                if hit is None:
+                    continue
+                line, steps, root_qname, root = hit
+                exc_short = root.detail.rsplit(".", 1)[-1] \
+                    if root.detail else "a permanent error"
+                yield self.finding(
+                    project, qname, region.handler_line,
+                    region.handler_col,
+                    f"retry loop catches {exc_short} "
+                    f"(transient=False) raised on the retried path: "
+                    f"each attempt fails identically and burns the "
+                    f"RetryPolicy budget; check is_transient(exc) or "
+                    f"narrow the except to transient types",
+                    region.snippet, steps)
+
+    @staticmethod
+    def _effective_catches(project: Project,
+                           caught: Tuple[str, ...]
+                           ) -> Optional[List[str]]:
+        """The caught entries that could swallow a permanent error:
+        broad names, or taxonomy classes not provably transient.
+        None when every entry is taxonomy-transient (a safe handler)."""
+        effective: List[str] = []
+        for entry in caught:
+            short = entry.rsplit(".", 1)[-1]
+            if short in _BROAD_CATCHES:
+                effective.append("")
+                continue
+            kind, resolved = project.resolve(entry)
+            if kind != "class":
+                # Unresolvable/builtin exception: it cannot catch the
+                # project taxonomy's permanent errors.
+                continue
+            if project.class_transient(resolved) == "true":
+                continue
+            effective.append(resolved)
+        return effective or None
+
+    def _permanent_in_body(
+            self, project: Project, flow: Dataflow,
+            function: FunctionFacts, region: RetryRegion,
+            caught: List[str]) -> Optional[
+                Tuple[int, List[WitnessStep], str, Cause]]:
+        # A permanent raise directly inside the retried body.
+        for raise_ref in function.raises:
+            if not region.body_start <= raise_ref.line <= region.body_end:
+                continue
+            if not raise_ref.exc:
+                continue
+            kind, resolved = project.resolve(raise_ref.exc)
+            if kind != "class" or \
+                    project.class_transient(resolved) != "false":
+                continue
+            if not self._catchable(project, caught, resolved):
+                continue
+            short = resolved.rsplit(".", 1)[-1]
+            cause = Cause(kind="intrinsic", line=raise_ref.line, col=1,
+                          note=f"raises {short} (transient=False)",
+                          snippet=raise_ref.snippet, detail=resolved)
+            step = WitnessStep(function=function.qname,
+                               path=function.path, line=raise_ref.line,
+                               note=cause.note)
+            return (raise_ref.line, [step], function.qname, cause)
+        # A call in the retried body reaching a permanent raise.
+        for call in function.calls:
+            if not region.body_start <= call.line <= region.body_end:
+                continue
+            edge = next((e for e in project.graph[function.qname]
+                         if e.line == call.line and e.kind == "call"),
+                        None)
+            if edge is None:
+                continue
+            if flow.cause(edge.callee, RAISES_PERMANENT) is None:
+                continue
+            root = flow.root(edge.callee, RAISES_PERMANENT)
+            if root is None:
+                continue
+            root_qname, root_cause = root
+            if root_cause.detail and \
+                    not self._catchable(project, caught,
+                                        root_cause.detail):
+                continue
+            short = edge.callee.rsplit(".", 1)[-1]
+            steps = [WitnessStep(function=function.qname,
+                                 path=function.path, line=call.line,
+                                 note=f"retried call to {short}()")]
+            steps.extend(_chain_steps(flow, edge.callee,
+                                      RAISES_PERMANENT))
+            return (call.line, steps, root_qname, root_cause)
+        return None
+
+    @staticmethod
+    def _catchable(project: Project, caught: List[str],
+                   raised: str) -> bool:
+        mro = project.mro(raised)
+        for entry in caught:
+            if entry == "":
+                return True
+            if entry in mro:
+                return True
+        return False
+
+
+@register_project
+class ReservedFolderRule(ProjectRule):
+    id = "WIRE001"
+    severity = "error"
+    description = ("Reserved wire-only folder written by code that "
+                   "cannot reach a receive_wire strip — the value "
+                   "would leak into agent-visible briefcases")
+
+    def check(self, project: Project,
+              flow: Dataflow) -> Iterator[Finding]:
+        strippers = project.reaches(WIRE_STRIP_ROOTS, reverse=True)
+        stripper_modules = {project.functions[q].module
+                            for q in strippers}
+        for qname in sorted(project.functions):
+            function = project.functions[qname]
+            if not function.reserved_writes:
+                continue
+            module_facts = project.modules[function.module]
+            if self.id in module_facts.file_suppressed:
+                continue
+            sanctioned = qname in strippers or \
+                function.module in stripper_modules
+            if not sanctioned:
+                forward = project.reaches([qname])
+                sanctioned = any(root in forward
+                                 for root in WIRE_STRIP_ROOTS)
+            if sanctioned:
+                continue
+            for write in function.reserved_writes:
+                if module_facts.suppressed(write.line, self.id):
+                    continue
+                witness = _caller_context(project, qname)
+                witness.append(WitnessStep(
+                    function=qname, path=function.path, line=write.line,
+                    note=f"writes reserved folder {write.folder} with "
+                         f"no path to a strip site "
+                         f"(extract/extract_seq/extract_landing)"))
+                yield self.finding(
+                    project, qname, write.line, write.col,
+                    f"writes reserved wire-only folder {write.folder} "
+                    f"outside the inject/strip pairing: nothing on "
+                    f"this path strips it at receive_wire, so the "
+                    f"value leaks into agent-visible briefcases and "
+                    f"pollutes dedup/tracing state",
+                    write.snippet, witness)
+
+
+@register_project
+class TransportCleanRule(TransitiveEffectRule):
+    id = "ASY001"
+    severity = "warning"
+    description = ("Transport-clean module reaches blocking I/O or the "
+                   "virtual-time simulation; the real asyncio backend "
+                   "must land on clean ground")
+    effect = BLOCKING_IO
+    has_local_rule = False
+
+    def in_scope(self, module: str) -> bool:
+        return module in ASY001_SCOPES
+
+    def message(self, project: Project, qname: str, root_qname: str,
+                root: Cause) -> str:
+        short = root_qname.rsplit(".", 1)[-1]
+        return (f"transport-clean code reaches blocking I/O "
+                f"({root.note} in {short}); the asyncio transport "
+                f"backend cannot run this on its event loop — make the "
+                f"wait explicit at the transport layer")
+
+
+@register_project
+class TransportSimCouplingRule(TransitiveEffectRule):
+    id = "ASY001"
+    severity = "warning"
+    description = ("Transport-clean module reaches blocking I/O or the "
+                   "virtual-time simulation; the real asyncio backend "
+                   "must land on clean ground")
+    effect = SIM_COUPLED
+    has_local_rule = False
+
+    def in_scope(self, module: str) -> bool:
+        return module in ASY001_SCOPES
+
+    def message(self, project: Project, qname: str, root_qname: str,
+                root: Cause) -> str:
+        short = root_qname.rsplit(".", 1)[-1]
+        return (f"transport-clean code is coupled to virtual time "
+                f"({root.note}, via {short}); the real-transport "
+                f"backend shares this code path — inject the clock/"
+                f"scheduler through an interface instead")
+
+
+def all_project_rule_ids() -> Tuple[str, ...]:
+    seen: List[str] = []
+    for rule in PROJECT_RULES:
+        if rule.id not in seen:
+            seen.append(rule.id)
+    return tuple(seen)

@@ -264,10 +264,13 @@ class PopitemRule(Rule):
                     "explicit key")
 
 
-#: The replay path: the one module allowed to rebind journaled
-#: structures (it reconstructs them *from* the journal and reattaches
-#: the journal before handing them back to the firewall).
-DURABILITY_SANCTUARY = ("repro.durability.recovery",)
+#: The modules allowed to rebind journaled structures: the replay path
+#: (it reconstructs them *from* the journal and reattaches the journal
+#: before handing them back to the firewall) and the module that owns
+#: the structures, whose ``install_delivery_state`` helper is the one
+#: sanctioned construction-time binding site.
+DURABILITY_SANCTUARY = ("repro.durability.recovery",
+                        "repro.firewall.dedup")
 
 #: Firewall attributes whose state is write-ahead journaled
 #: (:mod:`repro.durability`).  Every mutation must flow through their

@@ -383,8 +383,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.findings import fingerprinted
 
     paths = list(args.paths) or _default_lint_paths()
+    analyzer = Analyzer(cache_dir=args.cache)
+
+    if args.graph:
+        from repro.analysis.callgraph import export_dot, export_json
+        from repro.analysis.dataflow import Dataflow
+
+        try:
+            project = analyzer.build_project(paths)
+        except OSError as exc:
+            print(f"lint: cannot analyze: {exc}", file=sys.stderr)
+            return 2
+        flow = Dataflow(project)
+        render = export_dot if args.graph == "dot" else export_json
+        print(render(project, flow.effects), end="")
+        return 0
+
     try:
-        report = Analyzer().analyze_paths(paths)
+        report = analyzer.analyze_paths(paths)
     except (OSError, SyntaxError) as exc:
         print(f"lint: cannot analyze: {exc}", file=sys.stderr)
         return 2
@@ -410,7 +426,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
 
     if args.sarif:
+        from repro.analysis.iprules import project_rule_index
+
         index = dict(rule_index())
+        index.update(project_rule_index())
         index.update(SANITIZER_RULES)
         try:
             with open(args.sarif, "w", encoding="utf-8") as handle:
@@ -712,6 +731,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--sanitize", action="store_true",
                       help="also run the reference scenarios under the "
                            "briefcase-aliasing sanitizer")
+    lint.add_argument("--graph", default=None, choices=("dot", "json"),
+                      help="print the module-qualified call graph with "
+                           "propagated effects instead of findings")
+    lint.add_argument("--cache", default=None, metavar="DIR",
+                      help="per-module facts cache directory (keyed by "
+                           "source content hash; output is byte-"
+                           "identical with or without it)")
     return parser
 
 

@@ -47,7 +47,7 @@ class _InstanceRecord:
                  "reason", "departing")
 
     def __init__(self, instance: str, name: str, principal: str,
-                 host: str):
+                 host: str) -> None:
         self.instance = instance
         self.name = name
         self.principal = principal
@@ -62,7 +62,7 @@ class _InstanceRecord:
 class ConservationAuditor:
     """Every agent ever spawned ends in exactly one bucket."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._instances: Dict[str, _InstanceRecord] = {}
 
     # -- hook points ---------------------------------------------------------------
@@ -124,14 +124,14 @@ class ConservationAuditor:
         return not any(record.state == CRASHED
                        for record in self._instances.values())
 
-    def violations(self) -> List[dict]:
+    def violations(self) -> List[Dict[str, str]]:
         return sorted(
             ({"instance": r.instance, "name": r.name,
               "principal": r.principal, "host": r.host}
              for r in self._instances.values() if r.state == CRASHED),
             key=lambda v: v["instance"])
 
-    def report(self) -> dict:
+    def report(self) -> Dict[str, object]:
         buckets: Dict[str, int] = {}
         for record in self._instances.values():
             buckets[record.state] = buckets.get(record.state, 0) + 1

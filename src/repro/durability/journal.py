@@ -31,7 +31,7 @@ import base64
 import json
 import struct
 import zlib
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core import codec
 from repro.durability.store import VirtualDisk
@@ -48,20 +48,20 @@ DEFAULT_SNAPSHOT_INTERVAL = 256
 MANIFEST = "MANIFEST"
 
 
-def frame_record(body: dict) -> bytes:
+def frame_record(body: Dict[str, Any]) -> bytes:
     """One framed record: length + CRC-32 + canonical JSON."""
     payload = json.dumps(body, sort_keys=True,
                          separators=(",", ":")).encode("utf-8")
     return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def iter_frames(data: bytes) -> Tuple[List[dict], bool]:
+def iter_frames(data: bytes) -> Tuple[List[Dict[str, Any]], bool]:
     """Decode framed records; returns ``(records, torn)``.
 
     ``torn`` is True when trailing bytes did not form a whole, checksummed
     record — the expected shape of a crash mid-append.
     """
-    records: List[dict] = []
+    records: List[Dict[str, Any]] = []
     offset = 0
     total = len(data)
     while offset < total:
@@ -83,20 +83,22 @@ def iter_frames(data: bytes) -> Tuple[List[dict], bool]:
     return records, False
 
 
-def encode_briefcase_blob(briefcase) -> str:
+def encode_briefcase_blob(briefcase: Any) -> str:
     """A briefcase as a journal-safe base64 string of its wire bytes."""
     return base64.b64encode(codec.encode(briefcase)).decode("ascii")
 
 
-def decode_briefcase_blob(blob: str):
+def decode_briefcase_blob(blob: str) -> Any:
     return codec.decode(base64.b64decode(blob.encode("ascii")))
 
 
 class HostJournal:
     """The write-ahead journal of one durable host."""
 
-    def __init__(self, disk: VirtualDisk, host: str, telemetry=None,
-                 snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL):
+    def __init__(self, disk: VirtualDisk, host: str,
+                 telemetry: Optional[Any] = None,
+                 snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL
+                 ) -> None:
         if snapshot_interval < 1:
             raise ValueError("snapshot_interval must be positive")
         self.disk = disk
@@ -105,7 +107,8 @@ class HostJournal:
         self.snapshot_interval = snapshot_interval
         #: Provides the full durable state for snapshots (set by
         #: :class:`~repro.durability.recovery.HostDurability`).
-        self.state_provider: Optional[Callable[[], dict]] = None
+        self.state_provider: \
+            Optional[Callable[[], Dict[str, Any]]] = None
         self.suspended = False
         self.records_written = 0
         self.snapshots = 0
@@ -140,11 +143,11 @@ class HostJournal:
     def resume(self) -> None:
         self.suspended = False
 
-    def record(self, kind: str, **fields) -> None:
+    def record(self, kind: str, **fields: Any) -> None:
         """Append one record and fsync it (the write-ahead barrier)."""
         if self.suspended:
             return
-        body = {"kind": kind, "t": self.disk.kernel.now}
+        body: Dict[str, Any] = {"kind": kind, "t": self.disk.kernel.now}
         body.update(fields)
         segment = self._segment_name(self._segment_index)
         self.disk.append(segment, frame_record(body))
@@ -158,7 +161,8 @@ class HostJournal:
                 self._records_since_snapshot >= self.snapshot_interval):
             self.compact()
 
-    def record_message(self, kind: str, message, **fields) -> None:
+    def record_message(self, kind: str, message: Any,
+                       **fields: Any) -> None:
         """Append a record carrying a full message (envelope + blob)."""
         if self.suspended:
             return
@@ -216,13 +220,13 @@ class HostJournal:
 
     # -- reading -------------------------------------------------------------------
 
-    def read_active(self) -> Tuple[List[dict], bool, str]:
+    def read_active(self) -> Tuple[List[Dict[str, Any]], bool, str]:
         """Decode the active segment without counting a replay."""
         segment = self.active_segment()
         records, torn = iter_frames(self.disk.read(segment))
         return records, torn, segment
 
-    def replay(self) -> Tuple[List[dict], bool, str]:
+    def replay(self) -> Tuple[List[Dict[str, Any]], bool, str]:
         """The recovery-time read: also re-anchors segment numbering so
         post-recovery compaction continues monotonically."""
         records, torn, segment = self.read_active()

@@ -47,7 +47,7 @@ host, so replay refuses to resurrect it — the exactly-once machinery
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.uri import AgentUri
 from repro.durability.journal import (DEFAULT_SNAPSHOT_INTERVAL,
@@ -64,7 +64,7 @@ QUEUE_COUNTERS = ("offered", "accepted", "rejected", "claimed", "expired",
                   "crashed", "evicted", "dead_letter_evictions")
 
 
-def message_to_durable(message: Message) -> dict:
+def message_to_durable(message: Message) -> Dict[str, Any]:
     """Flatten a message envelope + briefcase into journal fields."""
     sender = message.sender
     return {
@@ -83,7 +83,7 @@ def message_to_durable(message: Message) -> dict:
     }
 
 
-def message_from_durable(rec: dict) -> Message:
+def message_from_durable(rec: Dict[str, Any]) -> Message:
     """Rebuild a live message from its journal fields."""
     uri = rec.get("sender_uri")
     sender = SenderInfo(
@@ -110,13 +110,13 @@ class ResidentTable:
     old instance is retired so crash loops never accumulate twins.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: instance -> {name, principal, vm, landing, blob, departing}
-        self.residents: Dict[str, dict] = {}
+        self.residents: Dict[str, Dict[str, Any]] = {}
         #: relaunch landing id -> superseded instance
         self.supersede: Dict[str, str] = {}
 
-    def arrive(self, instance: str, info: dict) -> None:
+    def arrive(self, instance: str, info: Dict[str, Any]) -> None:
         landing = info.get("landing")
         if landing and landing in self.supersede:
             self.residents.pop(self.supersede.pop(landing), None)
@@ -154,7 +154,7 @@ class ResidentTable:
         self.supersede.clear()
         return ambiguous
 
-    def to_durable(self) -> dict:
+    def to_durable(self) -> Dict[str, Any]:
         return {
             "residents": {instance: dict(self.residents[instance])
                           for instance in sorted(self.residents)},
@@ -163,7 +163,7 @@ class ResidentTable:
         }
 
     @classmethod
-    def from_durable(cls, state: dict) -> "ResidentTable":
+    def from_durable(cls, state: Dict[str, Any]) -> "ResidentTable":
         table = cls()
         for instance, info in state.get("residents", {}).items():
             table.residents[instance] = dict(info)
@@ -174,16 +174,16 @@ class ResidentTable:
 class ReplayImage:
     """The durable state reconstructed by one journal fold."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.dedup = DedupWindow()
         self.landings = LandingRegistry()
         self.table = ResidentTable()
         self.counters: Dict[str, int] = {key: 0 for key in QUEUE_COUNTERS}
         #: park id -> park record (message fields + timing), insertion
         #: ordered — parks still open at the crash.
-        self.open_parks: Dict[int, dict] = {}
+        self.open_parks: Dict[int, Dict[str, Any]] = {}
         #: dead-letter records (message fields + died_at / reason).
-        self.dead: List[dict] = []
+        self.dead: List[Dict[str, Any]] = []
         self.park_seq = 1
         self.checkpoints = 0
         self.restarts = 0
@@ -209,7 +209,7 @@ def _cut(image: ReplayImage, t: float) -> None:
     image.ambiguous = image.table.restart()
 
 
-def _seed(image: ReplayImage, state: dict) -> None:
+def _seed(image: ReplayImage, state: Dict[str, Any]) -> None:
     image.dedup = DedupWindow.from_durable(state.get("dedup", {}))
     image.landings = LandingRegistry.from_durable(state.get("landings", {}))
     image.table = ResidentTable.from_durable(state.get("residents", {}))
@@ -222,7 +222,8 @@ def _seed(image: ReplayImage, state: dict) -> None:
     image.dead = [dict(rec) for rec in queue.get("dead", [])]
 
 
-def replay_image(records: List[dict], torn: bool, segment: str,
+def replay_image(records: List[Dict[str, Any]], torn: bool,
+                 segment: str,
                  now: float) -> ReplayImage:
     """Fold journal records into the post-recovery state image.
 
@@ -271,10 +272,10 @@ def replay_image(records: List[dict], torn: bool, segment: str,
             if image.open_parks.pop(int(rec["park"]), None) is not None:
                 image.counters["claimed"] += 1
         elif kind == "queue-dead-letter":
-            entry = image.open_parks.pop(int(rec["park"]), None)
-            if entry is not None:
+            parked = image.open_parks.pop(int(rec["park"]), None)
+            if parked is not None:
                 reason = rec.get("reason", "expired")
-                dead = dict(entry)
+                dead = dict(parked)
                 dead["died_at"] = rec.get("t", now)
                 dead["reason"] = reason
                 image.dead.append(dead)
@@ -326,8 +327,9 @@ class HostDurability:
     to the controller through ``firewall.durability``.
     """
 
-    def __init__(self, node, injector=None,
-                 snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL):
+    def __init__(self, node: Any, injector: Optional[Any] = None,
+                 snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL
+                 ) -> None:
         self.node = node
         host = node.host.name
         self.disk = VirtualDisk(node.kernel, host, injector=injector)
@@ -336,7 +338,7 @@ class HostDurability:
             snapshot_interval=snapshot_interval)
         self.journal.state_provider = self.durable_state
         self._mirror = ResidentTable()
-        self.last_replay: Optional[dict] = None
+        self.last_replay: Optional[Dict[str, Any]] = None
         self.resurrect_skipped = 0
         firewall = node.firewall
         firewall.durability = self
@@ -347,7 +349,7 @@ class HostDurability:
 
     # -- the durable state (snapshot source) ---------------------------------------
 
-    def durable_state(self) -> dict:
+    def durable_state(self) -> Dict[str, Any]:
         firewall = self.node.firewall
         queue = firewall.pending
         accounting = queue.accounting()
@@ -380,7 +382,7 @@ class HostDurability:
 
     # -- journal hooks (called through the firewall) -------------------------------
 
-    def note_arrival(self, registration, briefcase,
+    def note_arrival(self, registration: Any, briefcase: Any,
                      landing: Optional[str], vm_name: str) -> None:
         info = {"name": registration.name,
                 "principal": registration.principal,
@@ -410,7 +412,7 @@ class HostDurability:
         self._mirror.depart_failed(instance)
 
     def note_checkpoint(self, principal: str, drawer: str,
-                        briefcase) -> None:
+                        briefcase: Any) -> None:
         self.journal.record("checkpoint", principal=principal,
                             drawer=drawer,
                             blob=encode_briefcase_blob(briefcase))
@@ -425,7 +427,7 @@ class HostDurability:
         self.journal.suspend()
         return self.disk.crash()
 
-    def on_restart(self, resurrect: bool = True) -> dict:
+    def on_restart(self, resurrect: bool = True) -> Dict[str, Any]:
         """Replay the journal and reinstall the durable state.
 
         Runs after the node re-registered its VMs and services and
@@ -505,7 +507,7 @@ class HostDurability:
         }
         return self.last_replay
 
-    def _resurrect(self, instance: str, info: dict) -> bool:
+    def _resurrect(self, instance: str, info: Dict[str, Any]) -> bool:
         """Relaunch one journaled resident from its arrival blob."""
         node = self.node
         vm = node.vms.get(info.get("vm", ""))
@@ -534,7 +536,7 @@ class HostDurability:
                           name=f"replay-launch:{instance}")
         return True
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         return {
             "disk": self.disk.stats(),
             "journal": self.journal.stats(),

@@ -18,7 +18,7 @@ stream, so crash damage is a pure function of the seed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class _DiskFile:
@@ -26,7 +26,7 @@ class _DiskFile:
 
     __slots__ = ("durable", "pending", "unsynced")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.durable = bytearray()
         #: fsynced writes not yet durable: ``(data, durable_at)``.
         self.pending: List[Tuple[bytes, float]] = []
@@ -37,7 +37,8 @@ class _DiskFile:
 class VirtualDisk:
     """Per-host durable storage with explicit fsync barriers."""
 
-    def __init__(self, kernel, host: str, injector=None):
+    def __init__(self, kernel: Any, host: str,
+                 injector: Optional[Any] = None) -> None:
         self.kernel = kernel
         self.host = host
         #: Optional :class:`~repro.sim.faults.FaultInjector` rolling the

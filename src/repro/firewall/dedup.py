@@ -352,6 +352,22 @@ class LandingRegistry:
         return registry
 
 
+def install_delivery_state(owner, dedup: Optional[DedupWindow] = None,
+                           landings: Optional[LandingRegistry] = None
+                           ) -> Tuple[DedupWindow, LandingRegistry]:
+    """Bind idempotent-receive state (fresh or replayed) onto *owner*.
+
+    The dedup window and landing registry are journaled structures: once
+    a host is made durable, every rebinding must reattach the journal or
+    the next replay resurrects the past (DUR001).  This module owns both
+    structures, so it is the one sanctioned place — alongside the replay
+    path in :mod:`repro.durability.recovery` — that may rebind them.
+    """
+    owner.dedup = dedup if dedup is not None else DedupWindow()
+    owner.landings = landings if landings is not None else LandingRegistry()
+    return owner.dedup, owner.landings
+
+
 # -- wire-only folder carriers ----------------------------------------------
 
 

@@ -54,12 +54,11 @@ from repro.core import wellknown
 from repro.firewall.auth import (Signature, TrustStore,
                                  request_signing_bytes)
 from repro.firewall.dedup import (
-    DedupWindow,
-    LandingRegistry,
     extract_landing,
     extract_seq,
     inject_landing,
     inject_seq,
+    install_delivery_state,
 )
 from repro.firewall.governor import Governor
 from repro.firewall.message import (
@@ -158,11 +157,13 @@ class Firewall:
             network.configure_breakers(governor_config.breaker)
         #: Poison wire messages that failed to decode (newest last).
         self.quarantine: List[dict] = []
-        #: Idempotent-receive state.  Deliberately NOT reset on crash():
-        #: the firewall object survives a host restart, so duplicates
-        #: produced *by* the outage are still suppressed afterwards.
-        self.dedup = DedupWindow()
-        self.landings = LandingRegistry()
+        #: Idempotent-receive state (``self.dedup``/``self.landings``).
+        #: Deliberately NOT reset on crash(): the firewall object
+        #: survives a host restart, so duplicates produced *by* the
+        #: outage are still suppressed afterwards.  Installed through
+        #: the journal-aware helper so every rebinding site lives in
+        #: the sanctioned modules (DUR001).
+        install_delivery_state(self)
         #: Crash-durability controller (a
         #: :class:`repro.durability.recovery.HostDurability`) when this
         #: host journals its delivery state; installed from outside so

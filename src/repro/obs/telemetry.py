@@ -164,3 +164,16 @@ class Telemetry:
         state = "enabled" if self.enabled else "disabled"
         return (f"<Telemetry {state} "
                 f"spans={len(self.tracer.spans)}>")
+
+
+def standalone_tracer(clock=None, enabled: bool = True) -> Tracer:
+    """A facade-sanctioned span tracer for tools that run *outside* a
+    kernel (the monitor log collecting reports in test harnesses).
+
+    Everything simulation-attached must go through the kernel's
+    :class:`Telemetry` hub so spans reach exports and honour
+    ``enable()``/``disable()`` (OBS001); a standalone tool has no hub,
+    and this factory is the one sanctioned way for it to own a private
+    timeline instead of constructing :class:`Tracer` directly.
+    """
+    return Tracer(clock, enabled=enabled)

@@ -17,87 +17,88 @@ the returned document to decide the cell verdict.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, Tuple
 
 from repro.suites.registry import (ParamSpec, ScenarioPlugin,
                                    register_plugin)
 
 
 def _run_chaos(seed: int, plan: str, recovery: bool,
-               workers: int) -> Dict:
+               workers: int) -> Dict[str, Any]:
     from repro.chaos.scenario import run_chaos
     return run_chaos(seed=seed, plan=plan, recovery=recovery,
                      workers=workers)
 
 
-def _render_chaos(document: Dict) -> str:
+def _render_chaos(document: Dict[str, Any]) -> str:
     from repro.chaos.scenario import render_chaos_json
     return render_chaos_json(document)
 
 
-def _run_partition(seed: int, scenario: str, workers: int) -> Dict:
+def _run_partition(seed: int, scenario: str, workers: int) -> Dict[str, Any]:
     from repro.chaos.partition import run_partition
     return run_partition(seed=seed, scenario=scenario, workers=workers)
 
 
-def _render_partition(document: Dict) -> str:
+def _render_partition(document: Dict[str, Any]) -> str:
     from repro.chaos.partition import render_partition_json
     return render_partition_json(document)
 
 
-def _run_crashtest(seed: int, scenario: str, workers: int) -> Dict:
+def _run_crashtest(seed: int, scenario: str, workers: int) -> Dict[str, Any]:
     from repro.chaos.crashtest import run_crashtest
     return run_crashtest(seed=seed, scenario=scenario, workers=workers)
 
 
-def _render_crashtest(document: Dict) -> str:
+def _render_crashtest(document: Dict[str, Any]) -> str:
     from repro.chaos.crashtest import render_crashtest_json
     return render_crashtest_json(document)
 
 
-def _run_overload(seed: int, mode: str) -> Dict:
+def _run_overload(seed: int, mode: str) -> Dict[str, Any]:
     from repro.bench.overload import run_overload_mode
     return run_overload_mode(seed=seed, mode=mode)
 
 
-def _render_overload(document: Dict) -> str:
+def _render_overload(document: Dict[str, Any]) -> str:
     from repro.bench.overload import render_overload_json
     return render_overload_json(document)
 
 
-def _run_experiment(seed: int, id: str) -> Dict:
+def _run_experiment(seed: int, id: str) -> Dict[str, Any]:
     from repro.bench.experiments import SEEDED_EXPERIMENTS, run_experiment
     from repro.bench.runner import report_to_dict
-    kwargs = {"seed": seed} if id in SEEDED_EXPERIMENTS else {}
+    kwargs: Dict[str, int] = \
+        {"seed": seed} if id in SEEDED_EXPERIMENTS else {}
     return report_to_dict(run_experiment(id, **kwargs))
 
 
-def _render_experiment(document: Dict) -> str:
+def _render_experiment(document: Dict[str, Any]) -> str:
     import json
     return json.dumps(document, sort_keys=True, indent=2)
 
 
-def _experiment_ids():
+def _experiment_ids() -> Tuple[str, ...]:
     from repro.bench.experiments import EXPERIMENTS
     return tuple(sorted(EXPERIMENTS))
 
 
-def _chaos_plans():
+def _chaos_plans() -> Tuple[str, ...]:
     from repro.chaos.scenario import PLAN_NAMES
     return tuple(PLAN_NAMES)
 
 
-def _partition_scenarios():
+def _partition_scenarios() -> Tuple[str, ...]:
     from repro.chaos.partition import SCENARIO_NAMES
     return tuple(SCENARIO_NAMES)
 
 
-def _crashtest_scenarios():
+def _crashtest_scenarios() -> Tuple[str, ...]:
     from repro.chaos.crashtest import SCENARIO_NAMES
     return tuple(SCENARIO_NAMES)
 
 
-def _overload_modes():
+def _overload_modes() -> Tuple[str, ...]:
     from repro.bench.overload import MODE_NAMES
     return tuple(MODE_NAMES)
 

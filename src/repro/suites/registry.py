@@ -35,7 +35,8 @@ Contracts every plugin must honour (recorded in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import (Any, Callable, Dict, Mapping, Optional, Tuple,
+                    Type)
 
 
 class SuiteError(ValueError):
@@ -56,7 +57,7 @@ class ParamSpec:
     """
 
     default: object
-    kind: type = str
+    kind: Type[object] = str
     choices: Optional[Tuple[object, ...]] = None
     help: str = ""
 
@@ -91,9 +92,10 @@ class ScenarioPlugin:
 
     name: str
     description: str
-    run: Callable[..., Dict]
-    render: Callable[[Dict], str]
-    params: Mapping[str, ParamSpec] = field(default_factory=dict)
+    run: Callable[..., Dict[str, Any]]
+    render: Callable[[Dict[str, Any]], str]
+    params: Mapping[str, ParamSpec] = \
+        field(default_factory=dict)
     checks: Tuple[str, ...] = ()
     variant_param: Optional[str] = None
 
@@ -103,10 +105,12 @@ class ScenarioPlugin:
             return ()
         return self.params[self.variant_param].choices or ()
 
-    def validate_params(self, params: Mapping[str, object]) -> Dict:
+    def validate_params(self, params: Mapping[str, object]
+                        ) -> Dict[str, object]:
         """Merge ``params`` over the defaults; reject unknown keys and
         out-of-domain values.  Returns the full, canonical param dict."""
-        merged = {name: spec.default for name, spec in self.params.items()}
+        merged: Dict[str, object] = {
+            name: spec.default for name, spec in self.params.items()}
         for name, value in params.items():
             spec = self.params.get(name)
             if spec is None:
@@ -116,7 +120,8 @@ class ScenarioPlugin:
             merged[name] = spec.validate(self.name, name, value)
         return merged
 
-    def run_cell(self, seed: int, params: Mapping[str, object]) -> Dict:
+    def run_cell(self, seed: int,
+                 params: Mapping[str, object]) -> Dict[str, Any]:
         """Validate ``params`` and run the driver once."""
         return self.run(seed=seed, **self.validate_params(params))
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.rng import derive_seed
 from repro.suites.registry import SuiteError, get_plugin
@@ -40,7 +40,7 @@ class CheckSyntaxError(SuiteError):
     """A check expression failed to parse."""
 
 
-def parse_check(expression: str) -> Tuple[str, Optional[str], object]:
+def parse_check(expression: str) -> Tuple[str, Optional[str], Any]:
     """Parse a check into ``(path, op, literal)``.
 
     ``op`` is ``None`` for a bare truthy check, ``"!"`` for a negated
@@ -72,7 +72,7 @@ def parse_check(expression: str) -> Tuple[str, Optional[str], object]:
     return path, ("!" if negate else None), None
 
 
-def _lookup(document: Dict, path: str) -> Tuple[bool, object]:
+def _lookup(document: Dict[str, Any], path: str) -> Tuple[bool, Any]:
     node: object = document
     for part in path.split("."):
         if not isinstance(node, dict) or part not in node:
@@ -81,7 +81,8 @@ def _lookup(document: Dict, path: str) -> Tuple[bool, object]:
     return True, node
 
 
-def evaluate_check(expression: str, document: Dict) -> Tuple[bool, object]:
+def evaluate_check(expression: str,
+                   document: Dict[str, Any]) -> Tuple[bool, Any]:
     """Evaluate one check; returns ``(ok, observed_value)``."""
     path, op, literal = parse_check(expression)
     found, value = _lookup(document, path)
@@ -107,7 +108,7 @@ def evaluate_check(expression: str, document: Dict) -> Tuple[bool, object]:
         return False, value
 
 
-def document_digest(document: Dict) -> str:
+def document_digest(document: Dict[str, Any]) -> str:
     """sha256 of the canonical JSON serialisation of ``document``."""
     canonical = json.dumps(document, sort_keys=True,
                            separators=(",", ":"))
@@ -123,7 +124,7 @@ def cell_seed(suite_seed: int, cell: CellSpec) -> int:
 
 
 def run_cell(cell: CellSpec, suite_seed: int, index: int = 0,
-             include_document: bool = True) -> Dict:
+             include_document: bool = True) -> Dict[str, Any]:
     """Run one cell and wrap the result in the shared envelope."""
     plugin = get_plugin(cell.plugin)
     seed = cell_seed(suite_seed, cell)
@@ -135,7 +136,7 @@ def run_cell(cell: CellSpec, suite_seed: int, index: int = 0,
         if not ok:
             failed += 1
         results.append({"check": check, "ok": ok, "value": value})
-    envelope = {
+    envelope: Dict[str, Any] = {
         "id": cell.cell_id,
         "index": index,
         "plugin": cell.plugin,
@@ -150,7 +151,7 @@ def run_cell(cell: CellSpec, suite_seed: int, index: int = 0,
     return envelope
 
 
-def _skipped_cell(cell: CellSpec, index: int) -> Dict:
+def _skipped_cell(cell: CellSpec, index: int) -> Dict[str, Any]:
     return {
         "id": cell.cell_id,
         "index": index,
@@ -164,7 +165,7 @@ def _skipped_cell(cell: CellSpec, index: int) -> Dict:
 
 
 def run_suite(spec: SuiteSpec, seed: Optional[int] = None,
-              include_documents: bool = True) -> Dict:
+              include_documents: bool = True) -> Dict[str, Any]:
     """Execute every cell in order; produce the canonical suite document.
 
     ``seed`` overrides the suite file's default seed.  Under the
@@ -172,7 +173,7 @@ def run_suite(spec: SuiteSpec, seed: Optional[int] = None,
     one are recorded as ``skipped`` and never executed.
     """
     suite_seed = spec.seed if seed is None else seed
-    cells: List[Dict] = []
+    cells: List[Dict[str, Any]] = []
     passed = failed = skipped = 0
     stop = False
     for index, cell in enumerate(spec.cells):
@@ -207,10 +208,10 @@ def run_suite(spec: SuiteSpec, seed: Optional[int] = None,
     }
 
 
-def render_suite_json(document: Dict) -> str:
+def render_suite_json(document: Dict[str, Any]) -> str:
     """Canonical serialisation of a suite document (CI diffs this)."""
     return json.dumps(document, sort_keys=True, indent=2)
 
 
-def suite_ok(document: Dict) -> bool:
+def suite_ok(document: Dict[str, Any]) -> bool:
     return bool(document["summary"]["ok"])

@@ -32,6 +32,7 @@ from repro.core.briefcase import Briefcase
 from repro.core.uri import AgentUri
 from repro.core import wellknown
 from repro.firewall.message import Message
+from repro.obs.telemetry import standalone_tracer
 from repro.obs.tracing import Tracer
 from repro.wrappers.base import AgentWrapper
 
@@ -176,7 +177,7 @@ class MonitorLog:
     def __init__(self, tracer: Optional[Tracer] = None):
         self.events = []
         self.tracer = tracer if tracer is not None \
-            else Tracer(enabled=True)
+            else standalone_tracer()
         #: tag → the latest unmatched "arrived" event, awaiting departure.
         self._arrivals: Dict[str, dict] = {}
 

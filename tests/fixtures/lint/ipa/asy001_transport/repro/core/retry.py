@@ -1,0 +1,34 @@
+"""ASY001: transport-clean code coupled to blocking I/O/virtual time.
+
+``repro.core.retry`` is named transport-clean by the real-transport
+roadmap item: the same bytes-in/bytes-out code must run under the
+asyncio backend.  An edge into ``repro.sim`` (virtual time) or a
+blocking call poisons that plan and is flagged now, before the
+backend lands.
+"""
+
+import time
+
+from repro.sim import pacing
+
+
+def backoff(kernel, attempt):
+    # finding: ASY001 — transport-clean code entering virtual time
+    return pacing.paced_wait(kernel, attempt)
+
+
+def send_with_backoff(kernel, wire, attempts=3):  # covered: on backoff
+    for attempt in range(attempts):
+        if wire.try_send():
+            return True
+        backoff(kernel, attempt)
+    return False
+
+
+def settle(seconds):
+    # finding: ASY001 — blocking sleep in transport-clean code
+    time.sleep(seconds)
+
+
+def compute_delay(base, attempt):  # ok: pure arithmetic
+    return base * (2 ** attempt)

@@ -1,0 +1,10 @@
+"""A virtual-time helper: anything in ``repro.sim.*`` is sim-coupled
+by definition (it only makes sense under the deterministic kernel)."""
+
+
+def wait_ticks(kernel, ticks):
+    return kernel.timeout(ticks)
+
+
+def paced_wait(kernel, attempt):  # one more hop for the witness chain
+    return wait_ticks(kernel, 2 ** attempt)

@@ -1,0 +1,15 @@
+"""Helper module *outside* DET003's scope (not repro.core / repro.sim).
+
+Reading the environment here is legal in isolation — entry points may
+consult the shell — but deterministic code must not reach it.
+"""
+
+import os
+
+
+def default_region():  # ok here: repro.util is outside DET003's scope
+    return os.getenv("REPRO_REGION", "eu-west")
+
+
+def deep_default_region():  # one more hop for the witness chain
+    return default_region()

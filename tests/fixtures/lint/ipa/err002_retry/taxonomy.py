@@ -1,0 +1,30 @@
+"""A miniature copy of the error taxonomy shape ERR002 reads.
+
+``transient`` is a class attribute: True for retryable failures, False
+for permanent ones, None for "ask the instance".
+"""
+
+
+class TaxError(Exception):
+    transient = None
+
+
+class TransientError(TaxError):
+    transient = True
+
+
+class CommTimeoutError(TransientError):
+    pass
+
+
+class PermanentError(TaxError):
+    transient = False
+
+
+class AccessDeniedError(PermanentError):
+    pass
+
+
+def is_transient(exc):
+    marker = getattr(exc, "transient", None)
+    return bool(marker)
